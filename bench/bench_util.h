@@ -1,0 +1,97 @@
+/// \file bench_util.h
+/// \brief Shared setup for the Sect. 6 reproduction harnesses.
+///
+/// Sizes follow the paper's defaults (d% = 30, n% = 20, |Dm| = 10K,
+/// |D| = 10K) scaled by the CERTFIX_SCALE environment variable. The
+/// default scale of 0.2 keeps each binary in the seconds range; set
+/// CERTFIX_SCALE=1 for paper-size runs.
+
+#ifndef CERTFIX_BENCH_BENCH_UTIL_H_
+#define CERTFIX_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "workload/dblp.h"
+#include "workload/experiment.h"
+#include "workload/hosp.h"
+
+namespace certfix {
+namespace bench {
+
+inline double Scale() {
+  const char* env = std::getenv("CERTFIX_SCALE");
+  if (env == nullptr) return 0.2;
+  double s = std::strtod(env, nullptr);
+  return s > 0 ? s : 0.2;
+}
+
+inline size_t Scaled(size_t paper_size) {
+  double v = static_cast<double>(paper_size) * Scale();
+  return v < 50 ? 50 : static_cast<size_t>(v);
+}
+
+/// Paper defaults.
+struct Defaults {
+  double duplicate_rate = 0.30;
+  double noise_rate = 0.20;
+  size_t dm_size = Scaled(10000);
+  size_t num_tuples = Scaled(10000);
+};
+
+struct WorkloadSetup {
+  std::string name;
+  SchemaPtr schema;
+  RuleSet rules;
+  Relation master;
+  Relation non_master;
+};
+
+inline WorkloadSetup MakeHosp(size_t dm_size, uint64_t seed = 42) {
+  WorkloadSetup w;
+  w.name = "hosp";
+  w.schema = HospWorkload::MakeSchema();
+  w.rules = HospWorkload::MakeRules(w.schema);
+  Rng rng(seed);
+  w.master = HospWorkload::MakeMaster(w.schema, dm_size, &rng);
+  Rng rng2(seed * 31 + 7);
+  w.non_master =
+      HospWorkload::MakeMaster(w.schema, dm_size / 2, &rng2, 1000000);
+  return w;
+}
+
+inline WorkloadSetup MakeDblp(size_t dm_size, uint64_t seed = 42) {
+  WorkloadSetup w;
+  w.name = "dblp";
+  w.schema = DblpWorkload::MakeSchema();
+  w.rules = DblpWorkload::MakeRules(w.schema);
+  Rng rng(seed);
+  w.master = DblpWorkload::MakeMaster(w.schema, dm_size, &rng);
+  Rng rng2(seed * 31 + 7);
+  w.non_master =
+      DblpWorkload::MakeMaster(w.schema, dm_size / 2, &rng2, 1000000);
+  return w;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "(paper reference: " << paper << "; scale "
+            << Scale() << ", set CERTFIX_SCALE=1 for paper sizes)\n\n";
+}
+
+inline void PrintRoundSeries(const std::string& label,
+                             const ExperimentResult& result, bool tuple_level) {
+  std::cout << label;
+  for (const RoundMetrics& m : result.per_round) {
+    std::cout << "  " << std::fixed << std::setprecision(3)
+              << (tuple_level ? m.recall_t : m.f_measure);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace bench
+}  // namespace certfix
+
+#endif  // CERTFIX_BENCH_BENCH_UTIL_H_

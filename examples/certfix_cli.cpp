@@ -1,0 +1,16 @@
+/// \file certfix_cli.cpp
+/// \brief The `certfix` command-line tool: mine rules, analyze rule sets,
+/// check regions, and batch-repair CSV files against master data. See
+/// src/tools/cli.h for the subcommand reference.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return certfix::RunCli(args, std::cout, std::cerr);
+}

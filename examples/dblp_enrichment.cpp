@@ -1,0 +1,70 @@
+/// \file dblp_enrichment.cpp
+/// \brief Record enrichment on the DBLP workload: incomplete citation
+/// records (missing homepages, publishers, ISBNs, crossrefs) are completed
+/// against master data — the "data enrichment" use of editing rules that
+/// Sect. 1 motivates (rules phi1-phi7 of Sect. 6).
+///
+/// Usage: ./build/examples/dblp_enrichment [num_records]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/certain_fix.h"
+#include "workload/dblp.h"
+
+using namespace certfix;
+
+int main(int argc, char** argv) {
+  size_t num_records = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+
+  SchemaPtr schema = DblpWorkload::MakeSchema();
+  Rng rng(11);
+  Relation master = DblpWorkload::MakeMaster(schema, 1500, &rng);
+  CertainFixEngine engine(DblpWorkload::MakeRules(schema), master,
+                          CertainFixOptions{});
+
+  auto attr = [&](const char* n) { return *schema->IndexOf(n); };
+
+  std::cout << "DBLP enrichment demo: " << master.size()
+            << " master rows, 16 editing rules.\n\n";
+
+  size_t enriched_cells = 0;
+  size_t complete_records = 0;
+  Rng pick(97);
+  for (size_t k = 0; k < num_records; ++k) {
+    // Start from a master paper and blank out the derivable fields, as if
+    // a curator had typed in only the core citation.
+    const Tuple& truth = master.at(pick.Index(master.size()));
+    Tuple partial = truth;
+    for (const char* missing :
+         {"hp1", "hp2", "publisher", "isbn", "crossref", "btitle"}) {
+      partial.Set(attr(missing), Value());
+    }
+
+    GroundTruthUser user(truth);
+    FixOutcome outcome = engine.Fix(partial, &user);
+
+    size_t filled = 0;
+    for (AttrId a : outcome.auto_fixed.ToVector()) {
+      if (partial.at(a).is_null() && !outcome.fixed.at(a).is_null()) {
+        ++filled;
+      }
+    }
+    enriched_cells += filled;
+    if (outcome.completed && outcome.fixed == truth) ++complete_records;
+
+    if (k < 3) {
+      std::cout << "record " << (k + 1) << ": \""
+                << truth.at(attr("ptitle")).ToString() << "\"\n"
+                << "  entered : " << partial.ToString() << "\n"
+                << "  enriched: " << outcome.fixed.ToString() << "\n"
+                << "  " << filled << " cells filled from master data in "
+                << outcome.num_rounds() << " round(s)\n\n";
+    }
+  }
+
+  std::cout << "enriched " << enriched_cells << " missing cells across "
+            << num_records << " records; " << complete_records
+            << " records fully certain.\n";
+  return complete_records == num_records ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+#include "cfd/cfd.h"
+
+namespace certfix {
+
+Result<Cfd> Cfd::Make(std::string name, SchemaPtr schema,
+                      std::vector<AttrId> x, AttrId b, PatternTuple tp) {
+  for (AttrId a : x) {
+    if (a >= schema->num_attrs()) {
+      return Status::OutOfRange("cfd " + name + ": X attr out of range");
+    }
+  }
+  if (b >= schema->num_attrs()) {
+    return Status::OutOfRange("cfd " + name + ": B out of range");
+  }
+  AttrSet x_set = AttrSet::FromVector(x);
+  if (x_set.Contains(b)) {
+    return Status::InvalidArgument("cfd " + name + ": B must not be in X");
+  }
+  AttrSet allowed = x_set;
+  allowed.Add(b);
+  if (!tp.attrs().SubsetOf(allowed)) {
+    return Status::InvalidArgument("cfd " + name +
+                                   ": pattern mentions attrs outside X+B");
+  }
+  Cfd cfd;
+  cfd.name_ = std::move(name);
+  cfd.schema_ = std::move(schema);
+  cfd.x_ = std::move(x);
+  cfd.x_set_ = x_set;
+  cfd.b_ = b;
+  cfd.tp_ = std::move(tp);
+  return cfd;
+}
+
+Result<Cfd> Cfd::MakeByName(std::string name, SchemaPtr schema,
+                            const std::vector<std::string>& x,
+                            const std::string& b, PatternTuple tp) {
+  CERTFIX_ASSIGN_OR_RETURN(std::vector<AttrId> xi, schema->Resolve(x));
+  CERTFIX_ASSIGN_OR_RETURN(AttrId bi, schema->IndexOf(b));
+  return Make(std::move(name), std::move(schema), std::move(xi), bi,
+              std::move(tp));
+}
+
+bool Cfd::MatchesLhs(const Tuple& t) const {
+  for (AttrId a : x_) {
+    if (!tp_.Get(a).Matches(t.at(a))) return false;
+  }
+  return true;
+}
+
+bool Cfd::ViolatedBy(const Tuple& t) const {
+  if (!IsConstant()) return false;
+  if (!MatchesLhs(t)) return false;
+  return t.at(b_) != tp_.Get(b_).value();
+}
+
+bool Cfd::ViolatedBy(const Tuple& t1, const Tuple& t2) const {
+  if (!MatchesLhs(t1) || !MatchesLhs(t2)) return false;
+  for (AttrId a : x_) {
+    if (t1.at(a) != t2.at(a)) return false;
+  }
+  PatternValue pb = tp_.Get(b_);
+  if (pb.is_const()) {
+    return t1.at(b_) != pb.value() || t2.at(b_) != pb.value();
+  }
+  return t1.at(b_) != t2.at(b_);
+}
+
+std::string Cfd::ToString() const {
+  std::string out = name_ + ": (";
+  for (size_t i = 0; i < x_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += schema_->attr_name(x_[i]);
+  }
+  out += " -> " + schema_->attr_name(b_) + ", " + tp_.ToString() + ")";
+  return out;
+}
+
+Status CfdSet::Add(Cfd cfd) {
+  if (schema_ == nullptr) {
+    schema_ = cfd.schema();
+  } else if (!cfd.schema()->Equals(*schema_)) {
+    return Status::InvalidArgument("cfd " + cfd.name() +
+                                   " is over a different schema");
+  }
+  cfds_.push_back(std::move(cfd));
+  return Status::OK();
+}
+
+}  // namespace certfix

@@ -1,0 +1,88 @@
+/// \file cfd.h
+/// \brief Conditional functional dependencies (CFDs), the constraint class
+/// behind the paper's motivating Example 1 and the IncRep baseline [14].
+
+#ifndef CERTFIX_CFD_CFD_H_
+#define CERTFIX_CFD_CFD_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern_tuple.h"
+#include "relational/attr_set.h"
+#include "relational/schema.h"
+#include "util/result.h"
+
+namespace certfix {
+
+/// \brief A CFD psi = (X -> B, tp) over one schema R.
+///
+/// tp is a pattern over X and B using constants and wildcards. When tp[B]
+/// is a constant the CFD is a *constant* CFD (violable by a single tuple);
+/// otherwise it is a *variable* CFD (violations are tuple pairs). Editing
+/// rules are deliberately NOT expressible as CFDs (Sect. 2, Remarks) — the
+/// two classes coexist here because IncRep consumes CFDs.
+class Cfd {
+ public:
+  Cfd() = default;
+
+  static Result<Cfd> Make(std::string name, SchemaPtr schema,
+                          std::vector<AttrId> x, AttrId b, PatternTuple tp);
+  static Result<Cfd> MakeByName(std::string name, SchemaPtr schema,
+                                const std::vector<std::string>& x,
+                                const std::string& b, PatternTuple tp);
+
+  const std::string& name() const { return name_; }
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<AttrId>& lhs() const { return x_; }
+  AttrSet lhs_set() const { return x_set_; }
+  AttrId rhs() const { return b_; }
+  const PatternTuple& pattern() const { return tp_; }
+
+  /// Constant CFD: tp[B] is a constant.
+  bool IsConstant() const { return tp_.Get(b_).is_const(); }
+
+  /// Whether the tuple matches the lhs part of the pattern tp[X].
+  bool MatchesLhs(const Tuple& t) const;
+
+  /// For a constant CFD: the single-tuple violation test (t matches tp[X]
+  /// but t[B] != tp[B]).
+  bool ViolatedBy(const Tuple& t) const;
+
+  /// For a variable CFD: the pair violation test (both match tp[X], agree
+  /// on X, but differ on B or mismatch a constant tp[B]).
+  bool ViolatedBy(const Tuple& t1, const Tuple& t2) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  SchemaPtr schema_;
+  std::vector<AttrId> x_;
+  AttrSet x_set_;
+  AttrId b_ = 0;
+  PatternTuple tp_;
+};
+
+/// \brief A set of CFDs over one schema.
+class CfdSet {
+ public:
+  CfdSet() = default;
+  explicit CfdSet(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  Status Add(Cfd cfd);
+  size_t size() const { return cfds_.size(); }
+  const Cfd& at(size_t i) const { return cfds_[i]; }
+  const SchemaPtr& schema() const { return schema_; }
+
+  std::vector<Cfd>::const_iterator begin() const { return cfds_.begin(); }
+  std::vector<Cfd>::const_iterator end() const { return cfds_.end(); }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Cfd> cfds_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_CFD_CFD_H_

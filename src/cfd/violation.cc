@@ -1,0 +1,47 @@
+#include "cfd/violation.h"
+
+#include <unordered_map>
+
+namespace certfix {
+
+std::vector<Violation> DetectViolations(const CfdSet& cfds,
+                                        const Relation& rel) {
+  std::vector<Violation> out;
+  for (size_t c = 0; c < cfds.size(); ++c) {
+    const Cfd& cfd = cfds.at(c);
+    if (cfd.IsConstant()) {
+      for (size_t i = 0; i < rel.size(); ++i) {
+        if (cfd.ViolatedBy(rel.at(i))) {
+          out.push_back(Violation{c, i, -1, cfd.rhs()});
+        }
+      }
+      continue;
+    }
+    // Variable CFD: group tp[X]-matching tuples by t[X]; within a group,
+    // report every tuple that disagrees with the group representative.
+    std::unordered_map<std::string, std::vector<size_t>> groups;
+    for (size_t i = 0; i < rel.size(); ++i) {
+      if (cfd.MatchesLhs(rel.at(i))) {
+        groups[ProjectKey(rel.at(i), cfd.lhs())].push_back(i);
+      }
+    }
+    for (const auto& [key, members] : groups) {
+      (void)key;
+      if (members.size() < 2) continue;
+      size_t rep = members[0];
+      for (size_t k = 1; k < members.size(); ++k) {
+        if (rel.at(members[k]).at(cfd.rhs()) != rel.at(rep).at(cfd.rhs())) {
+          out.push_back(Violation{c, rep, static_cast<long>(members[k]),
+                                  cfd.rhs()});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+size_t CountViolations(const CfdSet& cfds, const Relation& rel) {
+  return DetectViolations(cfds, rel).size();
+}
+
+}  // namespace certfix

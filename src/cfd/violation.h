@@ -1,0 +1,35 @@
+/// \file violation.h
+/// \brief CFD violation detection over a relation.
+
+#ifndef CERTFIX_CFD_VIOLATION_H_
+#define CERTFIX_CFD_VIOLATION_H_
+
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "relational/relation.h"
+
+namespace certfix {
+
+/// \brief One detected violation: a single dirty cell (constant CFDs) or a
+/// pair of tuples disagreeing on B (variable CFDs; tuple_b >= 0).
+struct Violation {
+  size_t cfd_idx = 0;
+  size_t tuple_a = 0;
+  long tuple_b = -1;  ///< -1 for single-tuple violations
+  AttrId attr = 0;    ///< the rhs attribute B
+};
+
+/// \brief Detects all violations of a CFD set in a relation. Constant CFDs
+/// are checked per tuple; variable CFDs via hashing on tp-matching X
+/// groups (reported pairwise within each group against the group's first
+/// deviating pair to keep output linear-ish).
+std::vector<Violation> DetectViolations(const CfdSet& cfds,
+                                        const Relation& rel);
+
+/// Number of violations (convenience for tests and IncRep's loop).
+size_t CountViolations(const CfdSet& cfds, const Relation& rel);
+
+}  // namespace certfix
+
+#endif  // CERTFIX_CFD_VIOLATION_H_

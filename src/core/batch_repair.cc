@@ -1,0 +1,31 @@
+#include "core/batch_repair.h"
+
+namespace certfix {
+
+BatchRepairResult BatchRepair::Repair(const Relation& data,
+                                      AttrSet trusted) const {
+  BatchRepairResult result;
+  result.repaired = data;
+  AttrSet all = sat_->rules().r_schema()->AllAttrs();
+  for (size_t i = 0; i < data.size(); ++i) {
+    SaturationResult fix = sat_->CheckUniqueFix(data.at(i), trusted);
+    if (!fix.unique) {
+      ++result.tuples_conflicting;
+      result.conflict_rows.push_back(i);
+      continue;
+    }
+    size_t changed = data.at(i).DiffCount(fix.fixed);
+    result.cells_changed += changed;
+    if (fix.covered == all) {
+      ++result.tuples_fully_covered;
+    } else if (fix.covered != trusted) {
+      ++result.tuples_partial;
+    } else {
+      ++result.tuples_untouched;
+    }
+    result.repaired.at(i) = std::move(fix.fixed);
+  }
+  return result;
+}
+
+}  // namespace certfix

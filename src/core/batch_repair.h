@@ -1,0 +1,47 @@
+/// \file batch_repair.h
+/// \brief Certain fixes in data *repairing* rather than monitoring — the
+/// first future-work topic of Sect. 7: "efficiently find certain fixes
+/// for data in a database".
+///
+/// Given a relation whose tuples all have a trusted attribute set Z
+/// (e.g. verified keys), BatchRepair applies every certain fix the rules
+/// and master data entail, tuple by tuple, without user interaction.
+/// Tuples whose (Sigma, Dm) analysis conflicts are left untouched and
+/// reported; tuples not fully covered are partially repaired (every
+/// applied fix is still certain relative to Z).
+
+#ifndef CERTFIX_CORE_BATCH_REPAIR_H_
+#define CERTFIX_CORE_BATCH_REPAIR_H_
+
+#include "core/saturation.h"
+
+namespace certfix {
+
+/// \brief Outcome of repairing one relation.
+struct BatchRepairResult {
+  Relation repaired;
+  size_t tuples_fully_covered = 0;  ///< certain fix reached (covered = R)
+  size_t tuples_partial = 0;        ///< some but not all attrs covered
+  size_t tuples_untouched = 0;      ///< nothing beyond Z derivable
+  size_t tuples_conflicting = 0;    ///< unique-fix check failed
+  size_t cells_changed = 0;
+  /// Row positions with conflicts (left unmodified).
+  std::vector<size_t> conflict_rows;
+};
+
+/// \brief Batch repair engine.
+class BatchRepair {
+ public:
+  explicit BatchRepair(const Saturator& sat) : sat_(&sat) {}
+
+  /// Repairs a copy of `data`, trusting t[Z] of every tuple. Tuples that
+  /// fail the unique-fix check are reported and left unchanged.
+  BatchRepairResult Repair(const Relation& data, AttrSet trusted) const;
+
+ private:
+  const Saturator* sat_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_CORE_BATCH_REPAIR_H_

@@ -1,0 +1,123 @@
+#include "core/certain_fix.h"
+
+namespace certfix {
+
+CertainFixEngine::CertainFixEngine(RuleSet rules, const Relation& dm,
+                                   CertainFixOptions options)
+    : rules_(std::move(rules)), dm_(&dm), options_(options) {
+  index_ = std::make_unique<MasterIndex>(rules_, *dm_);
+  graph_ = std::make_unique<DependencyGraph>(rules_);
+  sat_ = std::make_unique<Saturator>(rules_, *dm_, *index_);
+  transfix_ = std::make_unique<TransFix>(rules_, *dm_, *graph_, *index_);
+  suggester_ = std::make_unique<Suggester>(rules_, *dm_, index_.get());
+
+  RegionFinder finder(*sat_);
+  regions_ = finder.ComputeCertainRegions(options_.region);
+  if (regions_.empty()) {
+    // Degenerate fallback: the all-attribute region is trivially certain.
+    const SchemaPtr& schema = rules_.r_schema();
+    Region all = Region::Of(schema, schema->AllAttrs().ToVector());
+    PatternTuple row(schema);
+    Status st = all.AddRow(row);
+    (void)st;
+    regions_.push_back(RankedRegion{std::move(all), 0.0});
+  }
+}
+
+FixOutcome CertainFixEngine::Fix(const Tuple& input, UserOracle* user) {
+  FixOutcome outcome;
+  outcome.fixed = input;
+  AttrSet all = rules_.r_schema()->AllAttrs();
+
+  // Line 1: the first suggestion is the Z of a precomputed certain region.
+  AttrSet suggestion =
+      initial_region(initial_pick_).region.z_set();
+  // Line 2: Z' starts empty.
+  AttrSet validated;
+  SuggestionCache::Cursor cursor = cache_.Root();
+
+  for (size_t round = 0; round < options_.max_rounds; ++round) {
+    RoundRecord record;
+    record.suggested = suggestion;
+
+    // Lines 4-5: the user asserts a set S of attributes (with values).
+    AttrSet asserted = user->Assert(suggestion, validated, &outcome.fixed);
+    record.asserted = asserted;
+    outcome.user_asserted = outcome.user_asserted.Union(asserted);
+
+    Timer timer;
+    // Line 6: validate — does t[Z' + S] lead to a unique fix?
+    AttrSet base = validated.Union(asserted);
+    SaturationResult check = sat_->CheckUniqueFix(outcome.fixed, base);
+    if (!check.unique) {
+      // Conflict: with a truthful oracle this indicates inconsistency of
+      // (Sigma, Dm) w.r.t. the asserted region; surface it.
+      outcome.conflict = true;
+      record.seconds = timer.Seconds();
+      record.after = outcome.fixed;
+      record.auto_changed = outcome.auto_fixed;
+      outcome.rounds.push_back(record);
+      break;
+    }
+
+    // Line 7: TransFix extends Z' with the entailed fixes.
+    TransFixResult fixed = transfix_->Run(outcome.fixed, base);
+    record.auto_fixed = fixed.steps.size();
+    for (const FixMove& step : fixed.steps) {
+      outcome.auto_fixed.Add(step.attr);
+    }
+    outcome.fixed = std::move(fixed.tuple);
+    validated = fixed.validated;
+
+    // Line 8: done when Z' covers R.
+    if (validated == all) {
+      outcome.completed = true;
+      record.seconds = timer.Seconds();
+      record.after = outcome.fixed;
+      record.auto_changed = outcome.auto_fixed;
+      outcome.rounds.push_back(record);
+      break;
+    }
+
+    // Line 9: compute the next suggestion (Suggest or cached Suggest+).
+    // Zero automatic progress on a non-trivial assertion means the tuple
+    // is beyond the reach of (Sigma, Dm) — e.g. it matches no master
+    // tuple. Further master-guided suggestions would peel one dependency
+    // layer per round without any rule ever firing, so ask the user for
+    // everything remaining instead (the trivial region (R, {t}) is always
+    // certain).
+    if (record.auto_fixed == 0 && !asserted.Empty()) {
+      suggestion = all.Minus(validated);
+      record.seconds = timer.Seconds();
+      record.after = outcome.fixed;
+      record.auto_changed = outcome.auto_fixed;
+      outcome.rounds.push_back(record);
+      continue;
+    }
+    if (options_.use_cache) {
+      auto still_valid = [&](const AttrSet& s) {
+        return suggester_->IsSuggestion(outcome.fixed, validated, s);
+      };
+      std::optional<AttrSet> hit = cache_.Lookup(&cursor, still_valid);
+      if (hit.has_value()) {
+        suggestion = hit->Minus(validated);
+        record.cache_hit = true;
+      } else {
+        AttrSet s = suggester_->Suggest(outcome.fixed, validated);
+        cache_.Insert(&cursor, s);
+        suggestion = s;
+      }
+    } else {
+      suggestion = suggester_->Suggest(outcome.fixed, validated);
+    }
+    if (suggestion.Empty()) suggestion = all.Minus(validated);
+    record.seconds = timer.Seconds();
+    record.after = outcome.fixed;
+    record.auto_changed = outcome.auto_fixed;
+    outcome.rounds.push_back(record);
+  }
+  outcome.validated = validated;
+  return outcome;
+}
+
+}  // namespace certfix

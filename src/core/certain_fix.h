@@ -1,0 +1,104 @@
+/// \file certain_fix.h
+/// \brief Algorithm CertainFix / CertainFix+ (Sect. 5, Fig. 3): the
+/// interactive data-monitoring loop that finds certain fixes at the point
+/// of data entry.
+
+#ifndef CERTFIX_CORE_CERTAIN_FIX_H_
+#define CERTFIX_CORE_CERTAIN_FIX_H_
+
+#include <memory>
+
+#include "core/cregion.h"
+#include "core/dependency_graph.h"
+#include "core/suggest.h"
+#include "core/suggestion_cache.h"
+#include "core/transfix.h"
+#include "core/user.h"
+#include "util/timer.h"
+
+namespace certfix {
+
+/// \brief Engine configuration.
+struct CertainFixOptions {
+  bool use_cache = true;     ///< Suggest+ (CertainFix+) vs plain Suggest
+  size_t max_rounds = 16;    ///< interaction budget per tuple
+  CRegionOptions region;     ///< initial-region derivation knobs
+};
+
+/// \brief Per-round record (drives the Sect. 6 experiments).
+struct RoundRecord {
+  AttrSet suggested;
+  AttrSet asserted;
+  size_t auto_fixed = 0;   ///< attributes fixed by TransFix this round
+  bool cache_hit = false;  ///< suggestion served from the BDD cache
+  double seconds = 0.0;    ///< wall time of the round's engine work
+  Tuple after;             ///< tuple state at the end of the round
+  AttrSet auto_changed;    ///< cumulative rule-written attributes so far
+};
+
+/// \brief Outcome of fixing one input tuple.
+struct FixOutcome {
+  Tuple fixed;
+  AttrSet validated;
+  bool completed = false;       ///< every attribute covered (certain fix)
+  bool conflict = false;        ///< rules + master data conflicted
+  std::vector<RoundRecord> rounds;
+  AttrSet user_asserted;        ///< attributes supplied by the user
+  AttrSet auto_fixed;           ///< attributes fixed by the rules
+
+  size_t num_rounds() const { return rounds.size(); }
+  double total_seconds() const {
+    double s = 0;
+    for (const auto& r : rounds) s += r.seconds;
+    return s;
+  }
+};
+
+/// \brief The interactive framework of Fig. 3.
+///
+/// Construction precomputes the certain regions (via CompCRegion), the
+/// dependency graph, and the master hash indexes; Fix() runs the
+/// interaction loop against a UserOracle.
+class CertainFixEngine {
+ public:
+  /// `dm` must outlive the engine. Regions are computed on construction
+  /// and reused for every tuple (Sect. 5 (1)).
+  CertainFixEngine(RuleSet rules, const Relation& dm,
+                   CertainFixOptions options = {});
+
+  /// Runs the loop of Fig. 3 on one input tuple.
+  FixOutcome Fix(const Tuple& input, UserOracle* user);
+
+  /// The precomputed regions, best quality first.
+  const std::vector<RankedRegion>& regions() const { return regions_; }
+  /// The initial suggestion (Z of the highest-quality region), or the
+  /// region at `pick` (e.g. median for the CRMQ experiment).
+  const RankedRegion& initial_region(size_t pick = 0) const {
+    return regions_[std::min(pick, regions_.size() - 1)];
+  }
+  /// Overrides which precomputed region seeds the first suggestion.
+  void set_initial_pick(size_t pick) { initial_pick_ = pick; }
+
+  const SuggestionCache::Stats& cache_stats() const {
+    return cache_.stats();
+  }
+  const RuleSet& rules() const { return rules_; }
+  const Saturator& saturator() const { return *sat_; }
+
+ private:
+  RuleSet rules_;
+  const Relation* dm_;
+  CertainFixOptions options_;
+  std::unique_ptr<MasterIndex> index_;
+  std::unique_ptr<DependencyGraph> graph_;
+  std::unique_ptr<Saturator> sat_;
+  std::unique_ptr<TransFix> transfix_;
+  std::unique_ptr<Suggester> suggester_;
+  std::vector<RankedRegion> regions_;
+  SuggestionCache cache_;
+  size_t initial_pick_ = 0;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_CORE_CERTAIN_FIX_H_

@@ -1,0 +1,39 @@
+#include "core/consistency.h"
+
+namespace certfix {
+
+Result<bool> ConsistencyChecker::IsConsistent(const Region& region,
+                                              size_t max_instances) const {
+  for (const PatternTuple& row : region.tableau().rows()) {
+    CERTFIX_ASSIGN_OR_RETURN(ConsistencyReport rep,
+                             CheckRow(region, row, max_instances));
+    if (!rep.consistent) return false;
+  }
+  return true;
+}
+
+Result<ConsistencyReport> ConsistencyChecker::CheckRow(
+    const Region& region, const PatternTuple& row,
+    size_t max_instances) const {
+  ConsistencyReport report;
+  CERTFIX_ASSIGN_OR_RETURN(
+      std::vector<Tuple> probes,
+      InstantiateRow(sat_->rules(), sat_->master(), region.z(), row,
+                     max_instances, &sat_->Dom()));
+  AttrSet all = sat_->rules().r_schema()->AllAttrs();
+  for (const Tuple& probe : probes) {
+    SaturationResult r = sat_->CheckUniqueFix(probe, region.z_set());
+    if (!r.unique) {
+      report.consistent = false;
+      report.conflicts.insert(report.conflicts.end(), r.conflicts.begin(),
+                              r.conflicts.end());
+    }
+    if (r.covered != all) {
+      report.covers_all = false;
+      report.uncovered = report.uncovered.Union(all.Minus(r.covered));
+    }
+  }
+  return report;
+}
+
+}  // namespace certfix

@@ -1,0 +1,16 @@
+#include "core/coverage.h"
+
+namespace certfix {
+
+Result<bool> CoverageChecker::IsCertainRegion(const Region& region,
+                                              size_t max_instances) const {
+  if (region.tableau().empty()) return false;  // no marked tuples => vacuous
+  for (const PatternTuple& row : region.tableau().rows()) {
+    CERTFIX_ASSIGN_OR_RETURN(ConsistencyReport rep,
+                             checker_.CheckRow(region, row, max_instances));
+    if (!rep.consistent || !rep.covers_all) return false;
+  }
+  return true;
+}
+
+}  // namespace certfix

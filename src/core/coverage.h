@@ -1,0 +1,35 @@
+/// \file coverage.h
+/// \brief The coverage problem (Sect. 4.1): is (Z, Tc) a certain region for
+/// (Sigma, Dm), i.e. does every marked tuple get a certain fix?
+
+#ifndef CERTFIX_CORE_COVERAGE_H_
+#define CERTFIX_CORE_COVERAGE_H_
+
+#include "core/consistency.h"
+
+namespace certfix {
+
+/// \brief Certain-region decision: consistency plus full attribute
+/// coverage (Theorem 2 / Theorem 4 (III)).
+class CoverageChecker {
+ public:
+  explicit CoverageChecker(const Saturator& sat) : checker_(sat) {}
+
+  /// True iff (Z, Tc) is a certain region for (Sigma, Dm).
+  Result<bool> IsCertainRegion(const Region& region,
+                               size_t max_instances = 100000) const;
+
+  /// Per-row report: consistency, coverage, and missed attributes.
+  Result<ConsistencyReport> CheckRow(const Region& region,
+                                     const PatternTuple& row,
+                                     size_t max_instances = 100000) const {
+    return checker_.CheckRow(region, row, max_instances);
+  }
+
+ private:
+  ConsistencyChecker checker_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_CORE_COVERAGE_H_

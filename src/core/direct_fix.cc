@@ -1,0 +1,172 @@
+#include "core/direct_fix.h"
+
+#include <unordered_map>
+
+namespace certfix {
+
+Status DirectFixChecker::ValidateShape() const {
+  for (const EditingRule& rule : *rules_) {
+    if (!rule.IsDirect()) {
+      return Status::Unsupported("rule " + rule.name() +
+                                 " is not direct (Xp not a subset of X)");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> DirectFixChecker::SigmaZ(const AttrSet& z_set) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rules_->size(); ++i) {
+    const EditingRule& rule = rules_->at(i);
+    if (rule.lhs_set().SubsetOf(z_set) && !z_set.Contains(rule.rhs())) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<size_t>> DirectFixChecker::EvalQ(
+    const EditingRule& rule, const PatternTuple& tc) const {
+  // Translate the rule pattern and the region pattern to the master side:
+  // master attribute lambda(A) must match tp[A] for A in Xp, and tc[A] for
+  // A in X (proof of Thm 5: Rm.Xpm ≈ tp[Xp] and Rm.Xm ≈ tc[X]).
+  std::vector<std::pair<AttrId, PatternValue>> master_conditions;
+  for (size_t i = 0; i < rule.lhs().size(); ++i) {
+    AttrId r_attr = rule.lhs()[i];
+    AttrId m_attr = rule.lhsm()[i];
+    PatternValue from_tc = tc.Get(r_attr);
+    if (!from_tc.is_wildcard()) master_conditions.emplace_back(m_attr, from_tc);
+    PatternValue from_tp = rule.pattern().Get(r_attr);
+    if (!from_tp.is_wildcard()) master_conditions.emplace_back(m_attr, from_tp);
+  }
+  std::vector<size_t> rows;
+  for (size_t m = 0; m < dm_->size(); ++m) {
+    const Tuple& tm = dm_->at(m);
+    bool match = true;
+    for (const auto& [attr, pv] : master_conditions) {
+      if (!pv.Matches(tm.at(attr))) {
+        match = false;
+        break;
+      }
+    }
+    if (match) rows.push_back(m);
+  }
+  return rows;
+}
+
+Result<bool> DirectFixChecker::IsConsistent(
+    const std::vector<AttrId>& z, const PatternTuple& tc,
+    std::vector<DirectFixWitness>* witnesses) const {
+  CERTFIX_RETURN_NOT_OK(ValidateShape());
+  AttrSet z_set = AttrSet::FromVector(z);
+  std::vector<size_t> sigma_z = SigmaZ(z_set);
+
+  // Q_phi materialized per rule.
+  std::vector<std::vector<size_t>> q(sigma_z.size());
+  for (size_t i = 0; i < sigma_z.size(); ++i) {
+    CERTFIX_ASSIGN_OR_RETURN(q[i], EvalQ(rules_->at(sigma_z[i]), tc));
+  }
+
+  bool consistent = true;
+  for (size_t i = 0; i < sigma_z.size(); ++i) {
+    const EditingRule& r1 = rules_->at(sigma_z[i]);
+    for (size_t j = i; j < sigma_z.size(); ++j) {
+      const EditingRule& r2 = rules_->at(sigma_z[j]);
+      if (i == j && q[i].size() < 2) continue;
+      if (r1.rhs() != r2.rhs()) continue;
+      // Shared input attributes X = lhs(r1) ∩ lhs(r2); the join condition
+      // R1.X = R2.X of Q_{phi1,phi2} translated to each rule's master side.
+      std::vector<AttrId> shared;
+      for (AttrId a : r1.lhs()) {
+        if (r2.lhs_set().Contains(a)) shared.push_back(a);
+      }
+      std::vector<AttrId> m1;
+      std::vector<AttrId> m2;
+      for (AttrId a : shared) {
+        m1.push_back(*r1.MasterAttrFor(a));
+        m2.push_back(*r2.MasterAttrFor(a));
+      }
+      // Hash-join q[i] and q[j] on the shared key; flag differing B values.
+      std::unordered_map<std::string, std::vector<size_t>> bucket;
+      for (size_t row : q[i]) {
+        bucket[ProjectKey(dm_->at(row), m1)].push_back(row);
+      }
+      for (size_t row2 : q[j]) {
+        auto it = bucket.find(ProjectKey(dm_->at(row2), m2));
+        if (it == bucket.end()) continue;
+        const Value& v2 = dm_->at(row2).at(r2.rhsm());
+        for (size_t row1 : it->second) {
+          if (i == j && row1 == row2) continue;
+          const Value& v1 = dm_->at(row1).at(r1.rhsm());
+          if (v1 != v2) {
+            consistent = false;
+            if (witnesses != nullptr) {
+              witnesses->push_back(DirectFixWitness{sigma_z[i], sigma_z[j],
+                                                    r1.rhs(), v1, v2});
+            } else {
+              return false;
+            }
+          }
+        }
+      }
+    }
+  }
+  return consistent;
+}
+
+Result<bool> DirectFixChecker::IsCertainRegion(const std::vector<AttrId>& z,
+                                               const PatternTuple& tc) const {
+  CERTFIX_ASSIGN_OR_RETURN(bool consistent, IsConsistent(z, tc, nullptr));
+  if (!consistent) return false;
+  AttrSet z_set = AttrSet::FromVector(z);
+  const SchemaPtr& schema = rules_->r_schema();
+  for (AttrId b = 0; b < schema->num_attrs(); ++b) {
+    if (z_set.Contains(b)) continue;
+    bool covered = false;
+    for (const EditingRule& rule : *rules_) {
+      if (rule.rhs() != b) continue;
+      if (!rule.lhs_set().SubsetOf(z_set)) continue;
+      // tc[X] must be constants and compatible with the rule pattern.
+      bool constants = true;
+      for (AttrId a : rule.lhs()) {
+        PatternValue pv = tc.Get(a);
+        if (!pv.is_const()) {
+          constants = false;
+          break;
+        }
+        PatternValue rp = rule.pattern().Get(a);
+        if (!rp.Matches(pv.value())) {
+          constants = false;
+          break;
+        }
+      }
+      if (!constants) continue;
+      CERTFIX_ASSIGN_OR_RETURN(std::vector<size_t> rows, EvalQ(rule, tc));
+      if (!rows.empty()) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+Result<bool> DirectFixChecker::IsConsistent(const Region& region) const {
+  for (const PatternTuple& row : region.tableau().rows()) {
+    CERTFIX_ASSIGN_OR_RETURN(bool ok, IsConsistent(region.z(), row, nullptr));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<bool> DirectFixChecker::IsCertainRegion(const Region& region) const {
+  if (region.tableau().empty()) return false;
+  for (const PatternTuple& row : region.tableau().rows()) {
+    CERTFIX_ASSIGN_OR_RETURN(bool ok, IsCertainRegion(region.z(), row));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace certfix

@@ -1,0 +1,74 @@
+/// \file direct_fix.h
+/// \brief PTIME consistency/coverage under the *direct fix* semantics
+/// (Sect. 4.1, special case (5); Theorem 5).
+///
+/// Direct fixes restrict (a) every rule to have Xp a subset of X, and (b)
+/// every fixing step to be justified by the original region (Z, Tc) without
+/// extension. Consistency then reduces to the emptiness of the join queries
+/// Q_{phi1,phi2} of the Theorem 5 proof, which we evaluate with hash joins
+/// over Dm.
+
+#ifndef CERTFIX_CORE_DIRECT_FIX_H_
+#define CERTFIX_CORE_DIRECT_FIX_H_
+
+#include "core/region.h"
+#include "relational/relation.h"
+#include "rules/rule_set.h"
+#include "util/result.h"
+
+namespace certfix {
+
+/// \brief Partial master tuples returned by Q_phi (proof of Thm 5):
+/// projections of master rows that match both tp[Xp] (translated to the
+/// master side) and tc[X].
+struct DirectFixWitness {
+  size_t rule_a = 0;
+  size_t rule_b = 0;
+  AttrId attr = 0;       ///< shared rhs B
+  Value value_a;
+  Value value_b;
+};
+
+/// \brief Direct-fix analyses for one region row (tableaux are checked row
+/// by row, as in the proofs).
+class DirectFixChecker {
+ public:
+  DirectFixChecker(const RuleSet& rules, const Relation& dm)
+      : rules_(&rules), dm_(&dm) {}
+
+  /// All rules must be direct; otherwise Unsupported.
+  Status ValidateShape() const;
+
+  /// Consistency of (Sigma, Dm) relative to (Z, {tc}) under direct-fix
+  /// semantics: no pair of rules in Sigma_Z proposes conflicting B values
+  /// on master tuples agreeing on their shared X (query Q_{phi1,phi2}).
+  Result<bool> IsConsistent(const std::vector<AttrId>& z,
+                            const PatternTuple& tc,
+                            std::vector<DirectFixWitness>* witnesses =
+                                nullptr) const;
+
+  /// Certain-region test for direct fixes (proof of Thm 5, part II):
+  /// consistency plus, for each B outside Z, a rule with X inside Z,
+  /// constant tc[X], pattern compatibility, and a matching master tuple.
+  Result<bool> IsCertainRegion(const std::vector<AttrId>& z,
+                               const PatternTuple& tc) const;
+
+  /// Tableau-level wrappers (every row must pass).
+  Result<bool> IsConsistent(const Region& region) const;
+  Result<bool> IsCertainRegion(const Region& region) const;
+
+ private:
+  // Sigma_Z: indices of rules with lhs inside Z and rhs outside Z.
+  std::vector<size_t> SigmaZ(const AttrSet& z_set) const;
+
+  // Evaluates Q_phi: master row indices matching pattern and tc.
+  Result<std::vector<size_t>> EvalQ(const EditingRule& rule,
+                                    const PatternTuple& tc) const;
+
+  const RuleSet* rules_;
+  const Relation* dm_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_CORE_DIRECT_FIX_H_

@@ -1,0 +1,124 @@
+#include "core/master_index.h"
+
+namespace certfix {
+
+const MasterIndex::RhsSummary MasterIndex::kEmptySummary;
+
+namespace {
+
+void AddDistinct(MasterIndex::RhsSummary* summary, const Value& v,
+                 size_t row) {
+  for (const auto& [existing, rep] : *summary) {
+    (void)rep;
+    if (existing == v) return;
+  }
+  summary->emplace_back(v, row);
+}
+
+}  // namespace
+
+std::shared_ptr<MasterIndex::ValueIndex> MasterIndex::BuildValueIndex(
+    const Relation& dm, const std::vector<AttrId>& xm, AttrId bm) {
+  auto vi = std::make_shared<ValueIndex>();
+  for (size_t row = 0; row < dm.size(); ++row) {
+    const Value& v = dm.at(row).at(bm);
+    if (xm.empty()) {
+      AddDistinct(&vi->all_rows_summary, v, row);
+    } else {
+      AddDistinct(&vi->map[ProjectKey(dm.at(row), xm)], v, row);
+    }
+  }
+  return vi;
+}
+
+void MasterIndex::Build(const RuleSet& rules, const MasterIndex* share) {
+  rule_to_index_.reserve(rules.size());
+  rule_to_value_.reserve(rules.size());
+  probe_.reserve(rules.size());
+  for (const EditingRule& rule : rules) {
+    probe_.push_back(rule.lhs());
+
+    // Row index (keyed by Xm), shared across rules with the same Xm.
+    if (rule.lhsm().empty()) {
+      rule_to_index_.push_back(-1);
+    } else {
+      auto it = key_ids_.find(rule.lhsm());
+      if (it == key_ids_.end()) {
+        int id = -1;
+        if (share != nullptr) {
+          auto sit = share->key_ids_.find(rule.lhsm());
+          if (sit != share->key_ids_.end()) {
+            id = static_cast<int>(indexes_.size());
+            indexes_.push_back(share->indexes_[static_cast<size_t>(sit->second)]);
+          }
+        }
+        if (id < 0) {
+          id = static_cast<int>(indexes_.size());
+          indexes_.push_back(std::make_shared<KeyIndex>(*dm_, rule.lhsm()));
+        }
+        it = key_ids_.emplace(rule.lhsm(), id).first;
+      }
+      rule_to_index_.push_back(it->second);
+    }
+
+    // Value summary (keyed by (Xm, Bm)).
+    std::pair<std::vector<AttrId>, AttrId> vkey{rule.lhsm(), rule.rhsm()};
+    auto vit = value_ids_.find(vkey);
+    if (vit == value_ids_.end()) {
+      int id = -1;
+      if (share != nullptr) {
+        auto sit = share->value_ids_.find(vkey);
+        if (sit != share->value_ids_.end()) {
+          id = static_cast<int>(value_indexes_.size());
+          value_indexes_.push_back(
+              share->value_indexes_[static_cast<size_t>(sit->second)]);
+        }
+      }
+      if (id < 0) {
+        id = static_cast<int>(value_indexes_.size());
+        value_indexes_.push_back(
+            BuildValueIndex(*dm_, rule.lhsm(), rule.rhsm()));
+      }
+      vit = value_ids_.emplace(std::move(vkey), id).first;
+    }
+    rule_to_value_.push_back(vit->second);
+  }
+  // The full-row list is only needed by empty-X rules (reductions); build
+  // it on demand rather than per index construction.
+  bool any_empty = false;
+  for (int idx : rule_to_index_) any_empty |= (idx < 0);
+  if (any_empty) {
+    all_rows_.resize(dm_->size());
+    for (size_t i = 0; i < dm_->size(); ++i) all_rows_[i] = i;
+  }
+}
+
+MasterIndex::MasterIndex(const RuleSet& rules, const Relation& dm)
+    : dm_(&dm) {
+  Build(rules, nullptr);
+}
+
+MasterIndex::MasterIndex(const RuleSet& rules, const Relation& dm,
+                         const MasterIndex& share_from)
+    : dm_(&dm) {
+  Build(rules, &share_from);
+}
+
+const std::vector<size_t>& MasterIndex::Candidates(size_t rule_idx,
+                                                   const Tuple& t) const {
+  int idx = rule_to_index_[rule_idx];
+  if (idx < 0) return all_rows_;
+  return indexes_[static_cast<size_t>(idx)]->LookupTuple(t,
+                                                         probe_[rule_idx]);
+}
+
+const MasterIndex::RhsSummary& MasterIndex::RhsValues(size_t rule_idx,
+                                                      const Tuple& t) const {
+  const ValueIndex& vi =
+      *value_indexes_[static_cast<size_t>(rule_to_value_[rule_idx])];
+  if (probe_[rule_idx].empty()) return vi.all_rows_summary;
+  auto it = vi.map.find(ProjectKey(t, probe_[rule_idx]));
+  return it == vi.map.end() ? kEmptySummary : it->second;
+}
+
+}  // namespace certfix

@@ -1,0 +1,43 @@
+#include "core/region.h"
+
+namespace certfix {
+
+Status Region::AddRow(PatternTuple row) {
+  if (!row.attrs().SubsetOf(z_set_)) {
+    return Status::InvalidArgument(
+        "pattern row constrains attributes outside Z");
+  }
+  // Pad attributes of Z missing from the row with explicit wildcards so a
+  // row always mentions exactly Z.
+  for (AttrId a : z_) {
+    if (!row.Has(a)) row.SetWildcard(a);
+  }
+  tc_.Add(std::move(row));
+  return Status::OK();
+}
+
+Region Region::Extend(const EditingRule& rule) const {
+  if (z_set_.Contains(rule.rhs())) return *this;
+  std::vector<AttrId> z2 = z_;
+  z2.push_back(rule.rhs());
+  Tableau tc2(tc_.schema());
+  for (const PatternTuple& row : tc_.rows()) {
+    PatternTuple r2 = row;
+    r2.SetWildcard(rule.rhs());
+    tc2.Add(std::move(r2));
+  }
+  return Region(std::move(z2), std::move(tc2));
+}
+
+std::string Region::ToString() const {
+  std::string out = "Z = {";
+  const SchemaPtr& schema = tc_.schema();
+  for (size_t i = 0; i < z_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema ? schema->attr_name(z_[i]) : std::to_string(z_[i]);
+  }
+  out += "}, Tc = " + tc_.ToString();
+  return out;
+}
+
+}  // namespace certfix

@@ -1,0 +1,63 @@
+/// \file region.h
+/// \brief Regions (Z, Tc) and region extension ext(Z, Tc, phi) (Sect. 3).
+
+#ifndef CERTFIX_CORE_REGION_H_
+#define CERTFIX_CORE_REGION_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/tableau.h"
+#include "rules/editing_rule.h"
+
+namespace certfix {
+
+/// \brief A region (Z, Tc): a list Z of distinct attributes of R and a
+/// pattern tableau over Z.
+///
+/// A tuple t is *marked* by the region if it matches some pattern row; to
+/// apply rules w.r.t. the region, t[Z] must be assured correct (Sect. 3).
+class Region {
+ public:
+  Region() = default;
+  Region(std::vector<AttrId> z, Tableau tc)
+      : z_(std::move(z)), z_set_(AttrSet::FromVector(z_)), tc_(std::move(tc)) {}
+
+  /// Region with attribute list Z and an empty tableau to be filled.
+  static Region Of(const SchemaPtr& schema, std::vector<AttrId> z) {
+    return Region(std::move(z), Tableau(schema));
+  }
+
+  const std::vector<AttrId>& z() const { return z_; }
+  AttrSet z_set() const { return z_set_; }
+  const Tableau& tableau() const { return tc_; }
+  Tableau* mutable_tableau() { return &tc_; }
+
+  /// Adds a pattern row; cells outside Z are rejected.
+  Status AddRow(PatternTuple row);
+
+  /// True if t matches some pattern row (t is marked by the region).
+  bool Marks(const Tuple& t) const { return tc_.Marks(t); }
+
+  /// ext(Z, Tc, phi): extends Z with rhs(phi) and pads every row with a
+  /// wildcard on it (Sect. 3). No-op if rhs(phi) is already in Z.
+  Region Extend(const EditingRule& rule) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AttrId> z_;
+  AttrSet z_set_;
+  Tableau tc_;
+};
+
+/// \brief A region with the quality score assigned by CompCRegion
+/// (Sect. 5/6; larger is better).
+struct RankedRegion {
+  Region region;
+  double quality = 0.0;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_CORE_REGION_H_

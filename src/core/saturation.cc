@@ -1,0 +1,134 @@
+#include "core/saturation.h"
+
+#include <map>
+
+#include "core/exhaustive.h"
+
+namespace certfix {
+
+const std::set<Value>& Saturator::Dom() const {
+  if (dom_hint_ != nullptr) return *dom_hint_;
+  if (!dom_cache_.has_value()) {
+    dom_cache_ = ActiveDomain(*rules_, *dm_);
+  }
+  return *dom_cache_;
+}
+
+std::string FixConflict::ToString(const SchemaPtr& schema) const {
+  std::string name = schema ? schema->attr_name(attr) : std::to_string(attr);
+  return "conflict on " + name + ": '" + value_a.ToString() + "' (rule #" +
+         std::to_string(rule_a) + ") vs '" + value_b.ToString() +
+         "' (rule #" + std::to_string(rule_b) + ")";
+}
+
+SaturationResult Saturator::Run(const Tuple& t, AttrSet z0, int excluded,
+                                std::vector<Value>* proposals) const {
+  SaturationResult result;
+  result.fixed = t;
+  result.covered = z0;
+  AttrSet z = z0;
+
+  // One proposal per (attr, value); the map detects same-round conflicts.
+  struct Proposal {
+    Value value;
+    size_t rule_idx;
+    size_t master_idx;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<AttrId, std::vector<Proposal>> round;
+    for (size_t i = 0; i < rules_->size(); ++i) {
+      const EditingRule& rule = rules_->at(i);
+      AttrId b = rule.rhs();
+      if (z.Contains(b)) continue;
+      if (!rule.premise_set().SubsetOf(z)) continue;
+      if (!rule.pattern().Matches(result.fixed)) continue;
+      // Distinct proposed values only: a key matched by many master rows
+      // with the same Bm value yields a single (equivalent) proposal.
+      for (const auto& [value, rep] : index_->RhsValues(i, result.fixed)) {
+        round[b].push_back(Proposal{value, i, rep});
+      }
+    }
+    if (excluded >= 0) {
+      auto it = round.find(static_cast<AttrId>(excluded));
+      if (it != round.end()) {
+        if (proposals != nullptr) {
+          for (const Proposal& p : it->second) {
+            bool seen = false;
+            for (const Value& v : *proposals) {
+              if (v == p.value) {
+                seen = true;
+                break;
+              }
+            }
+            if (!seen) proposals->push_back(p.value);
+          }
+        }
+        round.erase(it);
+      }
+    }
+    for (const auto& [attr, props] : round) {
+      // Same-round conflict check: all proposals must agree.
+      const Proposal& first = props.front();
+      for (size_t k = 1; k < props.size(); ++k) {
+        if (props[k].value != first.value) {
+          result.unique = false;
+          result.conflicts.push_back(FixConflict{attr, first.value,
+                                                 props[k].value,
+                                                 first.rule_idx,
+                                                 props[k].rule_idx});
+        }
+      }
+      // Apply the first proposal even under conflict so the covered set
+      // stays maximal; callers treat `unique == false` as inconsistent.
+      result.fixed.Set(attr, first.value);
+      z.Add(attr);
+      result.covered.Add(attr);
+      result.steps.push_back(
+          FixMove{first.rule_idx, first.master_idx, attr, first.value});
+      changed = true;
+    }
+  }
+  return result;
+}
+
+SaturationResult Saturator::Saturate(const Tuple& t, AttrSet z0) const {
+  return Run(t, z0, -1, nullptr);
+}
+
+SaturationResult Saturator::SaturateExcluding(
+    const Tuple& t, AttrSet z0, AttrId excluded,
+    std::vector<Value>* proposals) const {
+  return Run(t, z0, static_cast<int>(excluded), proposals);
+}
+
+SaturationResult Saturator::CheckUniqueFix(const Tuple& t, AttrSet z0) const {
+  SaturationResult full = Run(t, z0, -1, nullptr);
+  if (!full.unique) return full;
+  // Cross-round conflicts: for each attribute B that some move validated,
+  // collect every value proposed for B by moves whose premises do not
+  // depend on B. Two distinct values means two distinct maximal fixes.
+  AttrSet targets = full.covered.Minus(z0);
+  for (AttrId b : targets.ToVector()) {
+    std::vector<Value> proposals;
+    SaturationResult excl = Run(t, z0, static_cast<int>(b), &proposals);
+    if (!excl.unique) {
+      // Conflict on another attribute surfaced under this order; report.
+      full.unique = false;
+      full.conflicts.insert(full.conflicts.end(), excl.conflicts.begin(),
+                            excl.conflicts.end());
+      return full;
+    }
+    if (proposals.size() > 1) {
+      full.unique = false;
+      full.conflicts.push_back(
+          FixConflict{b, proposals[0], proposals[1], 0, 0});
+      return full;
+    }
+  }
+  return full;
+}
+
+}  // namespace certfix

@@ -1,0 +1,48 @@
+#include "core/suggestion_cache.h"
+
+namespace certfix {
+
+int* SuggestionCache::HeadSlot(const Cursor& cursor) {
+  if (cursor.parent < 0) return &root_head_;
+  return &nodes_[static_cast<size_t>(cursor.parent)].true_head;
+}
+
+std::optional<AttrSet> SuggestionCache::Lookup(
+    Cursor* cursor, const std::function<bool(const AttrSet&)>& still_valid) {
+  int node = *HeadSlot(*cursor);
+  while (node >= 0) {
+    ++stats_.checks;
+    const AttrSet& s = nodes_[static_cast<size_t>(node)].suggestion;
+    if (still_valid(s)) {
+      ++stats_.hits;
+      cursor->parent = node;
+      return s;
+    }
+    node = nodes_[static_cast<size_t>(node)].false_next;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void SuggestionCache::Insert(Cursor* cursor, AttrSet suggestion) {
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{suggestion, -1, -1});
+  int* slot = HeadSlot(*cursor);
+  if (*slot < 0) {
+    *slot = id;
+  } else {
+    int node = *slot;
+    while (nodes_[static_cast<size_t>(node)].false_next >= 0) {
+      node = nodes_[static_cast<size_t>(node)].false_next;
+    }
+    nodes_[static_cast<size_t>(node)].false_next = id;
+  }
+  cursor->parent = id;
+}
+
+void SuggestionCache::Clear() {
+  nodes_.clear();
+  root_head_ = -1;
+}
+
+}  // namespace certfix

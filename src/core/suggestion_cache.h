@@ -1,0 +1,73 @@
+/// \file suggestion_cache.h
+/// \brief BDD-style cache of previously computed suggestions, enabling
+/// Suggest+ / CertainFix+ (Sect. 5.2, Figs. 7-8).
+///
+/// The cache is a DAG of nodes, each holding one suggestion S. A *level*
+/// is a false-branch chain: checking resumes at the level head; a node
+/// whose suggestion still applies is a hit (the true branch leads to the
+/// next level); exhausting the chain is a miss, and the newly computed
+/// suggestion is appended to the chain.
+
+#ifndef CERTFIX_CORE_SUGGESTION_CACHE_H_
+#define CERTFIX_CORE_SUGGESTION_CACHE_H_
+
+#include <functional>
+#include <optional>
+
+#include "relational/attr_set.h"
+
+namespace certfix {
+
+/// \brief The suggestion DAG.
+class SuggestionCache {
+ public:
+  /// A cursor identifies a level: the root level (parent == -1) or the
+  /// true-branch level of a node.
+  struct Cursor {
+    int parent = -1;
+  };
+
+  /// Cache hit/miss counters.
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t checks = 0;  ///< node predicate evaluations performed
+  };
+
+  Cursor Root() const { return Cursor{-1}; }
+
+  /// Walks the cursor's level; the first node whose suggestion satisfies
+  /// `still_valid` is a hit: the cursor advances to its true branch and the
+  /// suggestion is returned. Otherwise nullopt (cursor unchanged).
+  std::optional<AttrSet> Lookup(
+      Cursor* cursor, const std::function<bool(const AttrSet&)>& still_valid);
+
+  /// Appends a freshly computed suggestion to the cursor's level and
+  /// advances the cursor to the new node's true branch.
+  void Insert(Cursor* cursor, AttrSet suggestion);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Drops all nodes (e.g. after Sigma or Dm changes).
+  void Clear();
+
+ private:
+  struct Node {
+    AttrSet suggestion;
+    int true_head = -1;   ///< head of the next level on hit
+    int false_next = -1;  ///< next node in this level's chain
+  };
+
+  // Slot holding the head index of the cursor's level.
+  int* HeadSlot(const Cursor& cursor);
+
+  std::vector<Node> nodes_;
+  int root_head_ = -1;
+  Stats stats_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_CORE_SUGGESTION_CACHE_H_

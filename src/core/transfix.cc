@@ -1,0 +1,78 @@
+#include "core/transfix.h"
+
+#include <deque>
+
+namespace certfix {
+
+TransFixResult TransFix::Run(const Tuple& t, AttrSet z) const {
+  TransFixResult result;
+  result.tuple = t;
+  result.validated = z;
+
+  size_t n = rules_->size();
+  // Node states per Fig. 5: unusable (initial), usable (in vset), candidate
+  // (in uset), consumed (removed from vset after processing).
+  enum class State { kUnusable, kUsable, kCandidate, kConsumed };
+  std::vector<State> state(n, State::kUnusable);
+  std::deque<size_t> vset;
+
+  auto premises_validated = [&](size_t v) {
+    return rules_->at(v).premise_set().SubsetOf(result.validated);
+  };
+
+  // Lines 1-4: collect rules whose lhs and pattern attributes are validated.
+  for (size_t v = 0; v < n; ++v) {
+    if (premises_validated(v)) {
+      state[v] = State::kUsable;
+      vset.push_back(v);
+    }
+  }
+
+  // Lines 5-15: consume vset, fixing attributes and promoting successors.
+  while (!vset.empty()) {
+    size_t v = vset.front();
+    vset.pop_front();
+    if (state[v] == State::kConsumed) continue;
+    state[v] = State::kConsumed;
+
+    const EditingRule& rule = rules_->at(v);
+    AttrId b = rule.rhs();
+    bool fixed_now = false;
+    if (!result.validated.Contains(b) &&
+        rule.pattern().Matches(result.tuple)) {
+      const MasterIndex::RhsSummary& values =
+          index_->RhsValues(v, result.tuple);
+      if (values.size() == 1) {
+        // Exactly one distinct master value: safe to apply.
+        const auto& [value, rep] = values.front();
+        result.tuple.Set(b, value);
+        result.validated.Add(b);
+        result.steps.push_back(FixMove{v, rep, b, value});
+        fixed_now = true;
+      } else if (values.size() > 1) {
+        // Disagreeing master tuples would mean a non-unique fix, which
+        // the validation step before TransFix rules out — skip
+        // defensively.
+        result.skipped_conflicts.Add(b);
+      }
+    }
+    if (!fixed_now && !result.validated.Contains(b)) continue;
+
+    // Lines 9-15: inspect edges (v, u); promote u when its premises are now
+    // validated, or park it as a candidate otherwise.
+    for (size_t u : graph_->Successors(v)) {
+      if (state[u] == State::kConsumed || state[u] == State::kUsable) {
+        continue;
+      }
+      if (premises_validated(u)) {
+        state[u] = State::kUsable;
+        vset.push_back(u);
+      } else {
+        state[u] = State::kCandidate;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace certfix

@@ -1,0 +1,49 @@
+/// \file transfix.h
+/// \brief Procedure TransFix (Fig. 5): applies rules to a tuple whose
+/// validated set is Z', extending Z' with every newly corrected attribute.
+
+#ifndef CERTFIX_CORE_TRANSFIX_H_
+#define CERTFIX_CORE_TRANSFIX_H_
+
+#include "core/dependency_graph.h"
+#include "core/fix_state.h"
+#include "core/master_index.h"
+
+namespace certfix {
+
+/// \brief Result of one TransFix run.
+struct TransFixResult {
+  Tuple tuple;                 ///< the (partially) fixed tuple
+  AttrSet validated;           ///< extended Z'
+  std::vector<FixMove> steps;  ///< applied moves, in application order
+  /// Attributes whose candidate master values disagreed; left untouched.
+  AttrSet skipped_conflicts;
+};
+
+/// \brief TransFix engine bound to (Sigma, Dm, dependency graph, indexes).
+///
+/// Follows Fig. 5: rules whose premises are validated sit in `vset`; after
+/// a rule fires, its dependency-graph successors are promoted from `uset`
+/// when their premises become validated. Each rule is consumed at most
+/// once, so the loop runs at most |Sigma| iterations (Sect. 5.1's
+/// complexity analysis).
+class TransFix {
+ public:
+  TransFix(const RuleSet& rules, const Relation& dm,
+           const DependencyGraph& graph, const MasterIndex& index)
+      : rules_(&rules), dm_(&dm), graph_(&graph), index_(&index) {}
+
+  /// Runs TransFix(t, Dm, Sigma, Z'): fixes what the rules and master data
+  /// entail from the validated attributes z.
+  TransFixResult Run(const Tuple& t, AttrSet z) const;
+
+ private:
+  const RuleSet* rules_;
+  const Relation* dm_;
+  const DependencyGraph* graph_;
+  const MasterIndex* index_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_CORE_TRANSFIX_H_

@@ -1,0 +1,8 @@
+#include "core/user.h"
+
+namespace certfix {
+
+// UserOracle implementations are header-only; this translation unit anchors
+// the vtable for the interface.
+
+}  // namespace certfix

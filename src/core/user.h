@@ -1,0 +1,72 @@
+/// \file user.h
+/// \brief User oracles for the interactive framework (Sect. 5/6).
+
+#ifndef CERTFIX_CORE_USER_H_
+#define CERTFIX_CORE_USER_H_
+
+#include "relational/attr_set.h"
+#include "relational/tuple.h"
+
+namespace certfix {
+
+/// \brief The user side of the CertainFix interaction (Fig. 2): given a
+/// suggested attribute set, the user asserts some attributes correct —
+/// supplying their correct values where the entered ones were wrong.
+class UserOracle {
+ public:
+  virtual ~UserOracle() = default;
+
+  /// `suggested` is the engine's recommendation; `validated` the already
+  /// assured attributes. The oracle writes correct values into *t for the
+  /// attributes it asserts and returns that set (possibly != suggested).
+  virtual AttrSet Assert(const AttrSet& suggested, const AttrSet& validated,
+                         Tuple* t) = 0;
+};
+
+/// \brief Simulated user holding the ground-truth tuple; asserts exactly
+/// the suggested attributes with their true values (the paper's Sect. 6
+/// simulation: "user feedback was simulated by providing the correct
+/// values of the given suggestions").
+class GroundTruthUser : public UserOracle {
+ public:
+  explicit GroundTruthUser(Tuple truth) : truth_(std::move(truth)) {}
+
+  AttrSet Assert(const AttrSet& suggested, const AttrSet& validated,
+                 Tuple* t) override {
+    AttrSet asserted = suggested.Minus(validated);
+    for (AttrId a : asserted.ToVector()) t->Set(a, truth_.at(a));
+    return asserted;
+  }
+
+  const Tuple& truth() const { return truth_; }
+
+ private:
+  Tuple truth_;
+};
+
+/// \brief A more cautious simulated user who asserts at most `cap`
+/// attributes per round (stress-tests multi-round convergence).
+class ReluctantUser : public UserOracle {
+ public:
+  ReluctantUser(Tuple truth, size_t cap) : truth_(std::move(truth)), cap_(cap) {}
+
+  AttrSet Assert(const AttrSet& suggested, const AttrSet& validated,
+                 Tuple* t) override {
+    AttrSet asserted;
+    size_t n = 0;
+    for (AttrId a : suggested.Minus(validated).ToVector()) {
+      if (n++ >= cap_) break;
+      t->Set(a, truth_.at(a));
+      asserted.Add(a);
+    }
+    return asserted;
+  }
+
+ private:
+  Tuple truth_;
+  size_t cap_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_CORE_USER_H_

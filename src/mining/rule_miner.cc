@@ -1,0 +1,157 @@
+#include "mining/rule_miner.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace certfix {
+
+std::string MinedDependency::ToString(const SchemaPtr& schema) const {
+  std::string out = "(";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += schema->attr_name(lhs[i]);
+  }
+  out += ") -> " + schema->attr_name(rhs);
+  if (IsConditional()) {
+    out += " when " + schema->attr_name(condition_attr) + "=" +
+           condition_value.ToString();
+  }
+  out += " [support " + std::to_string(support) + "]";
+  return out;
+}
+
+bool RuleMiner::HoldsOn(const std::vector<size_t>& rows,
+                        const std::vector<AttrId>& x, AttrId b,
+                        size_t* support) const {
+  std::unordered_map<std::string, Value> seen;
+  for (size_t row : rows) {
+    const Tuple& t = master_->at(row);
+    std::string key = ProjectKey(t, x);
+    auto [it, inserted] = seen.emplace(key, t.at(b));
+    if (!inserted && it->second != t.at(b)) return false;
+  }
+  *support = seen.size();
+  return seen.size() >= options_.min_support;
+}
+
+std::vector<MinedDependency> RuleMiner::MineDependencies() const {
+  std::vector<MinedDependency> out;
+  if (master_->empty()) return out;
+  const SchemaPtr& schema = master_->schema();
+  size_t n = schema->num_attrs();
+
+  std::vector<size_t> all_rows(master_->size());
+  for (size_t i = 0; i < master_->size(); ++i) all_rows[i] = i;
+
+  // Candidate lhs lists of size 1..max_lhs in lexicographic order; a
+  // found (X -> B) suppresses supersets of X for the same B.
+  std::vector<std::vector<AttrId>> candidates;
+  for (AttrId a = 0; a < n; ++a) candidates.push_back({a});
+  if (options_.max_lhs >= 2) {
+    for (AttrId a = 0; a < n; ++a) {
+      for (AttrId b = a + 1; b < n; ++b) candidates.push_back({a, b});
+    }
+  }
+
+  // Exact FDs.
+  std::map<AttrId, std::vector<std::vector<AttrId>>> found;  // per rhs
+  auto subsumed = [&](const std::vector<AttrId>& x, AttrId b) {
+    AttrSet x_set = AttrSet::FromVector(x);
+    for (const std::vector<AttrId>& prev : found[b]) {
+      if (AttrSet::FromVector(prev).SubsetOf(x_set)) return true;
+    }
+    return false;
+  };
+
+  for (const std::vector<AttrId>& x : candidates) {
+    AttrSet x_set = AttrSet::FromVector(x);
+    for (AttrId b = 0; b < n; ++b) {
+      if (x_set.Contains(b)) continue;
+      if (subsumed(x, b)) continue;
+      size_t support = 0;
+      if (HoldsOn(all_rows, x, b, &support)) {
+        found[b].push_back(x);
+        MinedDependency dep;
+        dep.lhs = x;
+        dep.rhs = b;
+        dep.support = support;
+        out.push_back(std::move(dep));
+      }
+    }
+  }
+
+  if (!options_.mine_conditional) return out;
+
+  // Conditional dependencies: for each low-cardinality attribute C and
+  // value v, mine X -> B on the partition sigma_{C=v}(Dm), skipping
+  // dependencies already exact (they hold on every partition trivially).
+  for (AttrId cond = 0; cond < n; ++cond) {
+    std::vector<Value> values = master_->DistinctValues(cond);
+    if (values.size() > options_.max_condition_values) continue;
+    for (const Value& v : values) {
+      std::vector<size_t> rows;
+      for (size_t i = 0; i < master_->size(); ++i) {
+        if (master_->at(i).at(cond) == v) rows.push_back(i);
+      }
+      if (rows.size() < options_.min_condition_rows) continue;
+      for (const std::vector<AttrId>& x : candidates) {
+        AttrSet x_set = AttrSet::FromVector(x);
+        if (x_set.Contains(cond)) continue;
+        for (AttrId b = 0; b < n; ++b) {
+          if (b == cond || x_set.Contains(b)) continue;
+          if (subsumed(x, b)) continue;  // exact FD subsumes conditional
+          size_t support = 0;
+          if (HoldsOn(rows, x, b, &support)) {
+            MinedDependency dep;
+            dep.lhs = x;
+            dep.rhs = b;
+            dep.condition_attr = cond;
+            dep.condition_value = v;
+            dep.support = support;
+            out.push_back(std::move(dep));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<RuleSet> RuleMiner::MineRules(const SchemaPtr& r,
+                                     const SchemaPtr& rm) const {
+  if (!rm->Equals(*master_->schema())) {
+    return Status::InvalidArgument(
+        "rm does not match the mined master relation's schema");
+  }
+  RuleSet rules(r, rm);
+  size_t counter = 0;
+  for (const MinedDependency& dep : MineDependencies()) {
+    // Attribute correspondence by name; skip unmappable dependencies.
+    std::vector<AttrId> x_r;
+    bool mappable = true;
+    for (AttrId a : dep.lhs) {
+      const std::string& name = rm->attr_name(a);
+      if (!r->Has(name)) {
+        mappable = false;
+        break;
+      }
+      x_r.push_back(*r->IndexOf(name));
+    }
+    if (!mappable || !r->Has(rm->attr_name(dep.rhs))) continue;
+    AttrId b_r = *r->IndexOf(rm->attr_name(dep.rhs));
+    PatternTuple tp(r);
+    if (dep.IsConditional()) {
+      const std::string& cname = rm->attr_name(dep.condition_attr);
+      if (!r->Has(cname)) continue;
+      tp.SetConst(*r->IndexOf(cname), dep.condition_value);
+    }
+    Result<EditingRule> rule = EditingRule::Make(
+        "mined" + std::to_string(counter++), r, rm, x_r, dep.lhs, b_r,
+        dep.rhs, std::move(tp));
+    if (!rule.ok()) continue;  // e.g. rhs inside lhs after mapping
+    CERTFIX_RETURN_NOT_OK(rules.Add(std::move(rule).ValueOrDie()));
+  }
+  return rules;
+}
+
+}  // namespace certfix

@@ -1,0 +1,83 @@
+/// \file rule_miner.h
+/// \brief Discovery of editing rules from master data — the future-work
+/// direction of Sect. 7 ("effective algorithms have to be in place for
+/// discovering editing rules from sample inputs and master data, along
+/// the same lines as discovering other data quality rules [12, 26]").
+///
+/// The miner searches Dm for functional dependencies X -> B (|X| bounded)
+/// that hold exactly, plus *conditional* variants that hold under a
+/// constant pattern on a low-cardinality attribute (the CFD-mining idea
+/// of [12, 26] transplanted to editing rules). Each finding becomes an
+/// editing rule ((X, X) -> (B, B), tp) via a name correspondence between
+/// the input schema R and the master schema Rm.
+
+#ifndef CERTFIX_MINING_RULE_MINER_H_
+#define CERTFIX_MINING_RULE_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "rules/rule_set.h"
+#include "util/result.h"
+
+namespace certfix {
+
+/// \brief Miner configuration.
+struct RuleMinerOptions {
+  size_t max_lhs = 2;           ///< maximum |X|
+  size_t min_support = 2;       ///< minimum #distinct lhs keys
+  bool mine_conditional = true; ///< also mine pattern-conditioned rules
+  /// Attributes eligible as pattern conditions must have at most this
+  /// many distinct values in Dm (e.g. `type`-like discriminators).
+  size_t max_condition_values = 8;
+  /// Pattern-conditioned FDs must hold on a partition covering at least
+  /// this many rows.
+  size_t min_condition_rows = 4;
+};
+
+/// \brief One discovered dependency, before conversion to a rule.
+struct MinedDependency {
+  std::vector<AttrId> lhs;  ///< X (on Rm)
+  AttrId rhs = 0;           ///< B (on Rm)
+  /// Condition attribute/value; condition_attr == kNoCondition for exact
+  /// FDs.
+  static constexpr AttrId kNoCondition = AttrSet::kMaxAttrs;
+  AttrId condition_attr = kNoCondition;
+  Value condition_value;
+  size_t support = 0;  ///< #distinct lhs keys witnessing the dependency
+
+  bool IsConditional() const { return condition_attr != kNoCondition; }
+  std::string ToString(const SchemaPtr& schema) const;
+};
+
+/// \brief Editing-rule miner over one master relation.
+class RuleMiner {
+ public:
+  RuleMiner(const Relation& master, RuleMinerOptions options = {})
+      : master_(&master), options_(options) {}
+
+  /// Mines minimal dependencies: X -> B reported only if no proper subset
+  /// of X determines B (under the same condition).
+  std::vector<MinedDependency> MineDependencies() const;
+
+  /// Converts dependencies into editing rules on (r, rm). Attributes are
+  /// matched by NAME between r and rm; dependencies touching attributes
+  /// absent from r are skipped. Conditional dependencies become rules
+  /// with a constant pattern cell.
+  Result<RuleSet> MineRules(const SchemaPtr& r, const SchemaPtr& rm) const;
+
+ private:
+  // Does X -> B hold on the rows in `rows` with at least min_support
+  // distinct keys? Fills *support.
+  bool HoldsOn(const std::vector<size_t>& rows,
+               const std::vector<AttrId>& x, AttrId b,
+               size_t* support) const;
+
+  const Relation* master_;
+  RuleMinerOptions options_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_MINING_RULE_MINER_H_

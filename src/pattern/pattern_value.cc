@@ -1,0 +1,14 @@
+#include "pattern/pattern_value.h"
+
+namespace certfix {
+
+std::string PatternValue::ToString() const {
+  switch (kind_) {
+    case Kind::kWildcard: return "_";
+    case Kind::kConst: return value_.ToString();
+    case Kind::kNegConst: return "!" + value_.ToString();
+  }
+  return "?";
+}
+
+}  // namespace certfix

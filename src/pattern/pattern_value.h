@@ -1,0 +1,65 @@
+/// \file pattern_value.h
+/// \brief Pattern cell: wildcard `_`, constant `a`, or negated constant `ā`.
+
+#ifndef CERTFIX_PATTERN_PATTERN_VALUE_H_
+#define CERTFIX_PATTERN_PATTERN_VALUE_H_
+
+#include <string>
+
+#include "relational/value.h"
+
+namespace certfix {
+
+/// \brief One cell of a pattern tuple (Sect. 2 of the paper).
+///
+/// `a` imposes x = a, `ā` imposes x != a, and `_` imposes nothing.
+class PatternValue {
+ public:
+  enum class Kind { kWildcard = 0, kConst = 1, kNegConst = 2 };
+
+  /// Wildcard by default.
+  PatternValue() : kind_(Kind::kWildcard) {}
+
+  static PatternValue Wildcard() { return PatternValue(); }
+  static PatternValue Const(Value v) {
+    return PatternValue(Kind::kConst, std::move(v));
+  }
+  static PatternValue NegConst(Value v) {
+    return PatternValue(Kind::kNegConst, std::move(v));
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_wildcard() const { return kind_ == Kind::kWildcard; }
+  bool is_const() const { return kind_ == Kind::kConst; }
+  bool is_neg_const() const { return kind_ == Kind::kNegConst; }
+
+  /// The constant carried by `a` or `ā` cells; meaningless for wildcards.
+  const Value& value() const { return value_; }
+
+  /// True if the data value `v` satisfies this pattern cell.
+  bool Matches(const Value& v) const {
+    switch (kind_) {
+      case Kind::kWildcard: return true;
+      case Kind::kConst: return v == value_;
+      case Kind::kNegConst: return v != value_;
+    }
+    return false;
+  }
+
+  bool operator==(const PatternValue& o) const {
+    return kind_ == o.kind_ && (is_wildcard() || value_ == o.value_);
+  }
+  bool operator!=(const PatternValue& o) const { return !(*this == o); }
+
+  /// "_", "a", or "!a".
+  std::string ToString() const;
+
+ private:
+  PatternValue(Kind kind, Value v) : kind_(kind), value_(std::move(v)) {}
+  Kind kind_;
+  Value value_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_PATTERN_PATTERN_VALUE_H_

@@ -1,0 +1,38 @@
+#include "pattern/tableau.h"
+
+namespace certfix {
+
+bool Tableau::Marks(const Tuple& t) const { return FirstMatch(t) >= 0; }
+
+int Tableau::FirstMatch(const Tuple& t) const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].Matches(t)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Tableau::IsPositive() const {
+  for (const auto& r : rows_) {
+    if (!r.IsPositive()) return false;
+  }
+  return true;
+}
+
+bool Tableau::IsConcrete() const {
+  for (const auto& r : rows_) {
+    if (!r.IsConcrete()) return false;
+  }
+  return true;
+}
+
+std::string Tableau::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += rows_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace certfix

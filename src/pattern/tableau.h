@@ -1,0 +1,48 @@
+/// \file tableau.h
+/// \brief Pattern tableau Tc: a set of pattern tuples over attributes Z.
+
+#ifndef CERTFIX_PATTERN_TABLEAU_H_
+#define CERTFIX_PATTERN_TABLEAU_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern_tuple.h"
+
+namespace certfix {
+
+/// \brief The tableau component of a region (Z, Tc) (Sect. 3).
+///
+/// A tuple t is *marked* by (Z, Tc) if it matches some tc in Tc.
+class Tableau {
+ public:
+  Tableau() = default;
+  explicit Tableau(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  void Add(PatternTuple tc) { rows_.push_back(std::move(tc)); }
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const PatternTuple& at(size_t i) const { return rows_[i]; }
+  const std::vector<PatternTuple>& rows() const { return rows_; }
+
+  /// True if t matches some pattern tuple.
+  bool Marks(const Tuple& t) const;
+  /// Index of the first matching pattern tuple, or -1.
+  int FirstMatch(const Tuple& t) const;
+
+  /// True if every row is positive / concrete (special cases of Sect. 4).
+  bool IsPositive() const;
+  bool IsConcrete() const;
+
+  std::string ToString() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<PatternTuple> rows_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_PATTERN_TABLEAU_H_

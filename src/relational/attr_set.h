@@ -1,0 +1,97 @@
+/// \file attr_set.h
+/// \brief Compact attribute set over schemas with at most 64 attributes.
+
+#ifndef CERTFIX_RELATIONAL_ATTR_SET_H_
+#define CERTFIX_RELATIONAL_ATTR_SET_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+namespace certfix {
+
+/// Attribute position within a schema.
+using AttrId = uint32_t;
+
+/// \brief Bitset of attribute ids (schemas in this library have <= 64
+/// attributes; HOSP has 19, DBLP 12, the paper's supplier example 10).
+///
+/// Used pervasively for region attribute lists Z, rule lhs/rhs sets, and
+/// the validated-set bookkeeping in TransFix and the saturation engine.
+class AttrSet {
+ public:
+  static constexpr AttrId kMaxAttrs = 64;
+
+  AttrSet() : bits_(0) {}
+  AttrSet(std::initializer_list<AttrId> ids) : bits_(0) {
+    for (AttrId id : ids) Add(id);
+  }
+  static AttrSet FromVector(const std::vector<AttrId>& ids) {
+    AttrSet s;
+    for (AttrId id : ids) s.Add(id);
+    return s;
+  }
+  /// Set {0, 1, ..., n-1}.
+  static AttrSet AllUpTo(AttrId n) {
+    assert(n <= kMaxAttrs);
+    AttrSet s;
+    s.bits_ = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+    return s;
+  }
+
+  void Add(AttrId id) {
+    assert(id < kMaxAttrs);
+    bits_ |= (1ULL << id);
+  }
+  void Remove(AttrId id) {
+    assert(id < kMaxAttrs);
+    bits_ &= ~(1ULL << id);
+  }
+  bool Contains(AttrId id) const {
+    assert(id < kMaxAttrs);
+    return (bits_ >> id) & 1;
+  }
+  bool Empty() const { return bits_ == 0; }
+  int Count() const { return __builtin_popcountll(bits_); }
+
+  AttrSet Union(const AttrSet& o) const { return AttrSet(bits_ | o.bits_); }
+  AttrSet Intersect(const AttrSet& o) const { return AttrSet(bits_ & o.bits_); }
+  AttrSet Minus(const AttrSet& o) const { return AttrSet(bits_ & ~o.bits_); }
+  bool SubsetOf(const AttrSet& o) const { return (bits_ & ~o.bits_) == 0; }
+  bool Intersects(const AttrSet& o) const { return (bits_ & o.bits_) != 0; }
+
+  bool operator==(const AttrSet& o) const { return bits_ == o.bits_; }
+  bool operator!=(const AttrSet& o) const { return bits_ != o.bits_; }
+  bool operator<(const AttrSet& o) const { return bits_ < o.bits_; }
+
+  /// Ascending list of member ids.
+  std::vector<AttrId> ToVector() const {
+    std::vector<AttrId> out;
+    uint64_t b = bits_;
+    while (b != 0) {
+      AttrId id = static_cast<AttrId>(__builtin_ctzll(b));
+      out.push_back(id);
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  uint64_t bits() const { return bits_; }
+
+ private:
+  explicit AttrSet(uint64_t bits) : bits_(bits) {}
+  uint64_t bits_;
+};
+
+struct AttrSetHash {
+  size_t operator()(const AttrSet& s) const {
+    return std::hash<uint64_t>()(s.bits());
+  }
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_RELATIONAL_ATTR_SET_H_

@@ -1,0 +1,173 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace certfix {
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      if (!cur.empty()) {
+        return Status::ParseError("unexpected quote mid-field at column " +
+                                  std::to_string(i));
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF endings.
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    const std::string& f = fields[i];
+    bool needs_quote = f.find_first_of(",\"\n\r") != std::string::npos;
+    if (needs_quote) {
+      out += '"';
+      for (char c : f) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+Result<Relation> ReadCsv(SchemaPtr schema, std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("empty CSV input: missing header");
+  }
+  CERTFIX_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                           ParseCsvLine(line));
+  if (header.size() != schema->num_attrs()) {
+    return Status::ParseError("CSV header arity " +
+                              std::to_string(header.size()) +
+                              " != schema arity " +
+                              std::to_string(schema->num_attrs()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (std::string(Trim(header[i])) != schema->attr_name(static_cast<AttrId>(i))) {
+      return Status::ParseError("CSV header column " + std::to_string(i) +
+                                " is '" + header[i] + "', expected '" +
+                                schema->attr_name(static_cast<AttrId>(i)) + "'");
+    }
+  }
+  Relation rel(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    CERTFIX_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                             ParseCsvLine(line));
+    Status st = rel.AppendStrings(fields);
+    if (!st.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                st.message());
+    }
+  }
+  return rel;
+}
+
+Result<Relation> ReadCsvFile(SchemaPtr schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  return ReadCsv(std::move(schema), in);
+}
+
+Result<Relation> ReadCsvInferSchema(const std::string& name,
+                                    std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::ParseError("empty CSV input: missing header");
+  }
+  CERTFIX_ASSIGN_OR_RETURN(std::vector<std::string> columns,
+                           ParseCsvLine(header));
+  std::vector<std::string> trimmed;
+  for (const std::string& c : columns) {
+    trimmed.emplace_back(Trim(c));
+    if (trimmed.back().empty()) {
+      return Status::ParseError("empty column name in CSV header");
+    }
+  }
+  SchemaPtr schema = Schema::Make(name, trimmed);
+  Relation rel(schema);
+  std::string line;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    CERTFIX_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                             ParseCsvLine(line));
+    Status st = rel.AppendStrings(fields);
+    if (!st.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                st.message());
+    }
+  }
+  return rel;
+}
+
+Result<Relation> ReadCsvFileInferSchema(const std::string& name,
+                                        const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  return ReadCsvInferSchema(name, in);
+}
+
+Status WriteCsv(const Relation& rel, std::ostream& out) {
+  std::vector<std::string> header;
+  for (size_t i = 0; i < rel.schema()->num_attrs(); ++i) {
+    header.push_back(rel.schema()->attr_name(static_cast<AttrId>(i)));
+  }
+  out << FormatCsvLine(header) << "\n";
+  for (const Tuple& t : rel) {
+    std::vector<std::string> fields;
+    fields.reserve(t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Value& v = t.at(static_cast<AttrId>(i));
+      fields.push_back(v.is_null() ? "" : v.ToString());
+    }
+    out << FormatCsvLine(fields) << "\n";
+  }
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Relation& rel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+  return WriteCsv(rel, out);
+}
+
+}  // namespace certfix

@@ -1,0 +1,39 @@
+/// \file csv.h
+/// \brief Minimal CSV reader/writer for relations (RFC-4180 quoting).
+
+#ifndef CERTFIX_RELATIONAL_CSV_H_
+#define CERTFIX_RELATIONAL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace certfix {
+
+/// Parses one CSV line into fields, honoring double-quote quoting.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// Renders fields as one CSV line, quoting where needed.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// Reads a relation from CSV text. The first line must be a header whose
+/// column names match the schema's attribute names (order included).
+Result<Relation> ReadCsv(SchemaPtr schema, std::istream& in);
+Result<Relation> ReadCsvFile(SchemaPtr schema, const std::string& path);
+
+/// Reads a relation inferring the schema from the header line (all
+/// attributes typed as strings). `name` becomes the schema name.
+Result<Relation> ReadCsvInferSchema(const std::string& name,
+                                    std::istream& in);
+Result<Relation> ReadCsvFileInferSchema(const std::string& name,
+                                        const std::string& path);
+
+/// Writes the relation with a header line.
+Status WriteCsv(const Relation& rel, std::ostream& out);
+Status WriteCsvFile(const Relation& rel, const std::string& path);
+
+}  // namespace certfix
+
+#endif  // CERTFIX_RELATIONAL_CSV_H_

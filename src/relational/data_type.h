@@ -1,0 +1,28 @@
+/// \file data_type.h
+/// \brief Attribute data types for the relational substrate.
+
+#ifndef CERTFIX_RELATIONAL_DATA_TYPE_H_
+#define CERTFIX_RELATIONAL_DATA_TYPE_H_
+
+namespace certfix {
+
+/// Column type of an attribute. The paper's data are strings and integers;
+/// doubles appear in scores (HOSP sAvg/Score).
+enum class DataType {
+  kString = 0,
+  kInt = 1,
+  kDouble = 2,
+};
+
+inline const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kString: return "string";
+    case DataType::kInt: return "int";
+    case DataType::kDouble: return "double";
+  }
+  return "?";
+}
+
+}  // namespace certfix
+
+#endif  // CERTFIX_RELATIONAL_DATA_TYPE_H_

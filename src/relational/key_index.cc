@@ -1,0 +1,26 @@
+#include "relational/key_index.h"
+
+namespace certfix {
+
+const std::vector<size_t> KeyIndex::kEmpty;
+
+KeyIndex::KeyIndex(const Relation& rel, std::vector<AttrId> attrs)
+    : attrs_(std::move(attrs)) {
+  for (size_t i = 0; i < rel.size(); ++i) {
+    map_[ProjectKey(rel.at(i), attrs_)].push_back(i);
+  }
+}
+
+const std::vector<size_t>& KeyIndex::Lookup(
+    const std::vector<Value>& values) const {
+  auto it = map_.find(ValuesKey(values));
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+const std::vector<size_t>& KeyIndex::LookupTuple(
+    const Tuple& t, const std::vector<AttrId>& probe_attrs) const {
+  auto it = map_.find(ProjectKey(t, probe_attrs));
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+}  // namespace certfix

@@ -1,0 +1,45 @@
+/// \file key_index.h
+/// \brief Hash index on a projection of a relation.
+
+#ifndef CERTFIX_RELATIONAL_KEY_INDEX_H_
+#define CERTFIX_RELATIONAL_KEY_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace certfix {
+
+/// \brief Index mapping tm[Xm] keys to master tuple positions.
+///
+/// TransFix relies on constant-time master lookups ("a hash table that
+/// stores tm[Xm] as a key", Sect. 5.1); one KeyIndex per distinct Xm list
+/// is built by MasterIndex.
+class KeyIndex {
+ public:
+  KeyIndex() = default;
+  /// Builds the index over `rel` keyed by the projection on `attrs`.
+  KeyIndex(const Relation& rel, std::vector<AttrId> attrs);
+
+  /// Row positions whose projection equals `values` (list order matters).
+  const std::vector<size_t>& Lookup(const std::vector<Value>& values) const;
+
+  /// Row positions matching the projection of `t` (a tuple over another
+  /// schema) on `probe_attrs`; |probe_attrs| must equal the key arity.
+  const std::vector<size_t>& LookupTuple(
+      const Tuple& t, const std::vector<AttrId>& probe_attrs) const;
+
+  const std::vector<AttrId>& key_attrs() const { return attrs_; }
+  size_t num_keys() const { return map_.size(); }
+
+ private:
+  std::vector<AttrId> attrs_;
+  std::unordered_map<std::string, std::vector<size_t>> map_;
+  static const std::vector<size_t> kEmpty;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_RELATIONAL_KEY_INDEX_H_

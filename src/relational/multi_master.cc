@@ -1,0 +1,58 @@
+#include "relational/multi_master.h"
+
+#include <set>
+
+namespace certfix {
+
+Result<MultiMaster> MultiMaster::Combine(
+    const std::vector<std::pair<std::string, const Relation*>>& sources) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("no master relations to combine");
+  }
+  std::set<std::string> names;
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"id", DataType::kInt});
+  for (const auto& [name, rel] : sources) {
+    if (name.empty() || !names.insert(name).second) {
+      return Status::InvalidArgument("duplicate or empty source name: " +
+                                     name);
+    }
+    for (size_t a = 0; a < rel->schema()->num_attrs(); ++a) {
+      attrs.push_back(Attribute{
+          name + "." + rel->schema()->attr_name(static_cast<AttrId>(a)),
+          rel->schema()->attr_type(static_cast<AttrId>(a))});
+    }
+  }
+  if (attrs.size() > AttrSet::kMaxAttrs) {
+    return Status::OutOfRange("combined master schema exceeds " +
+                              std::to_string(AttrSet::kMaxAttrs) +
+                              " attributes");
+  }
+
+  MultiMaster out;
+  out.schema_ = Schema::Make("MultiMaster", std::move(attrs));
+  out.relation_ = Relation(out.schema_);
+  size_t offset = 1;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const Relation& rel = *sources[i].second;
+    out.source_names_.push_back(sources[i].first);
+    for (const Tuple& src : rel) {
+      Tuple row(out.schema_);
+      row.Set(0, Value::Int(static_cast<int64_t>(i)));
+      for (size_t a = 0; a < src.size(); ++a) {
+        row.Set(static_cast<AttrId>(offset + a), src.at(static_cast<AttrId>(a)));
+      }
+      Status st = out.relation_.Append(std::move(row));
+      CERTFIX_RETURN_NOT_OK(st);
+    }
+    offset += rel.schema()->num_attrs();
+  }
+  return out;
+}
+
+Result<AttrId> MultiMaster::Resolve(const std::string& source_name,
+                                    const std::string& attr) const {
+  return schema_->IndexOf(source_name + "." + attr);
+}
+
+}  // namespace certfix

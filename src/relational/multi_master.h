@@ -1,0 +1,60 @@
+/// \file multi_master.h
+/// \brief Combining several master relations into one, per Sect. 2,
+/// Remark (3): "given master schemas Rm1, ..., Rmk, there exists a single
+/// master schema Rm such that each instance Dm of Rm characterizes an
+/// instance of (Dm1, ..., Dmk); Rm has a special attribute id such that
+/// sigma_{id=i}(Rm) yields Dmi".
+///
+/// The combined schema is (id, src1.a1, ..., srck.an): every source
+/// attribute is prefixed by its relation name, and rows from source i
+/// carry id = i with nulls outside their own attribute block. Editing
+/// rules against source i reference the prefixed attribute names and
+/// should carry the pattern cell enforced by SourceCondition (the id
+/// match is established through the rule's key, so rules typically add
+/// the id attribute to Xm via a constant column or rely on null
+/// mismatches; the helper exposes both the id attribute and per-source
+/// attribute resolution).
+
+#ifndef CERTFIX_RELATIONAL_MULTI_MASTER_H_
+#define CERTFIX_RELATIONAL_MULTI_MASTER_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace certfix {
+
+/// \brief A combined multi-master view.
+class MultiMaster {
+ public:
+  /// Builds the combined schema and relation from named sources. Source
+  /// names must be distinct and non-empty; the total attribute count
+  /// (1 + sum of source arities) must fit AttrSet::kMaxAttrs.
+  static Result<MultiMaster> Combine(
+      const std::vector<std::pair<std::string, const Relation*>>& sources);
+
+  const SchemaPtr& schema() const { return schema_; }
+  const Relation& relation() const { return relation_; }
+  /// The discriminating id attribute (always position 0).
+  AttrId id_attr() const { return 0; }
+  /// The id value tagging rows of source `i`.
+  Value SourceId(size_t i) const { return Value::Int(static_cast<int64_t>(i)); }
+
+  /// Resolves `attr` of source `source_name` in the combined schema.
+  Result<AttrId> Resolve(const std::string& source_name,
+                         const std::string& attr) const;
+
+  size_t num_sources() const { return source_names_.size(); }
+  const std::string& source_name(size_t i) const { return source_names_[i]; }
+
+ private:
+  SchemaPtr schema_;
+  Relation relation_;
+  std::vector<std::string> source_names_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_RELATIONAL_MULTI_MASTER_H_

@@ -1,0 +1,48 @@
+#include "relational/relation.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace certfix {
+
+Status Relation::Append(Tuple t) {
+  if (t.schema().get() != schema_.get() && !t.schema()->Equals(*schema_)) {
+    return Status::InvalidArgument("tuple schema does not match relation " +
+                                   schema_->name());
+  }
+  tuples_.push_back(std::move(t));
+  return Status::OK();
+}
+
+Status Relation::AppendStrings(const std::vector<std::string>& fields) {
+  CERTFIX_ASSIGN_OR_RETURN(Tuple t, Tuple::FromStrings(schema_, fields));
+  tuples_.push_back(std::move(t));
+  return Status::OK();
+}
+
+std::vector<Value> Relation::DistinctValues(AttrId attr) const {
+  std::set<Value> seen;
+  for (const Tuple& t : tuples_) seen.insert(t.at(attr));
+  return std::vector<Value>(seen.begin(), seen.end());
+}
+
+std::vector<Value> Relation::ActiveDomain() const {
+  std::set<Value> seen;
+  for (const Tuple& t : tuples_) {
+    for (size_t i = 0; i < t.size(); ++i) seen.insert(t.at(static_cast<AttrId>(i)));
+  }
+  return std::vector<Value>(seen.begin(), seen.end());
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_->ToString() << " [" << tuples_.size() << " rows]\n";
+  for (size_t i = 0; i < tuples_.size() && i < max_rows; ++i) {
+    os << "  " << tuples_[i].ToString() << "\n";
+  }
+  if (tuples_.size() > max_rows) os << "  ...\n";
+  return os.str();
+}
+
+}  // namespace certfix

@@ -1,0 +1,59 @@
+/// \file relation.h
+/// \brief In-memory relation: a schema plus a vector of tuples.
+
+#ifndef CERTFIX_RELATIONAL_RELATION_H_
+#define CERTFIX_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace certfix {
+
+/// \brief A bag of tuples over one schema. Master relations Dm and input
+/// batches D are both Relation instances.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const Tuple& at(size_t i) const { return tuples_[i]; }
+  Tuple& at(size_t i) { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Appends a tuple; fails if the tuple's schema differs.
+  Status Append(Tuple t);
+  /// Appends parsing from strings.
+  Status AppendStrings(const std::vector<std::string>& fields);
+
+  void Reserve(size_t n) { tuples_.reserve(n); }
+  void Clear() { tuples_.clear(); }
+
+  /// Distinct values of one attribute (the attribute's active domain).
+  std::vector<Value> DistinctValues(AttrId attr) const;
+
+  /// All constants appearing anywhere in the relation.
+  std::vector<Value> ActiveDomain() const;
+
+  /// First `n` rows rendered as a table (for examples and debugging).
+  std::string ToString(size_t max_rows = 10) const;
+
+  std::vector<Tuple>::iterator begin() { return tuples_.begin(); }
+  std::vector<Tuple>::iterator end() { return tuples_.end(); }
+  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
+  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_RELATIONAL_RELATION_H_

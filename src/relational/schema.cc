@@ -1,0 +1,77 @@
+#include "relational/schema.h"
+
+#include <cassert>
+
+namespace certfix {
+
+Schema::Schema(std::string name, std::vector<Attribute> attrs)
+    : name_(std::move(name)), attrs_(std::move(attrs)) {
+  assert(attrs_.size() <= AttrSet::kMaxAttrs);
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    index_.emplace(attrs_[i].name, static_cast<AttrId>(i));
+  }
+}
+
+std::shared_ptr<Schema> Schema::Make(std::string name,
+                                     const std::vector<std::string>& attrs) {
+  std::vector<Attribute> list;
+  list.reserve(attrs.size());
+  for (const auto& a : attrs) list.push_back(Attribute{a, DataType::kString});
+  return std::make_shared<Schema>(std::move(name), std::move(list));
+}
+
+std::shared_ptr<Schema> Schema::Make(std::string name,
+                                     std::vector<Attribute> attrs) {
+  return std::make_shared<Schema>(std::move(name), std::move(attrs));
+}
+
+Result<AttrId> Schema::IndexOf(const std::string& attr_name) const {
+  auto it = index_.find(attr_name);
+  if (it == index_.end()) {
+    return Status::NotFound("schema " + name_ + " has no attribute '" +
+                            attr_name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::Has(const std::string& attr_name) const {
+  return index_.count(attr_name) > 0;
+}
+
+Result<std::vector<AttrId>> Schema::Resolve(
+    const std::vector<std::string>& names) const {
+  std::vector<AttrId> ids;
+  ids.reserve(names.size());
+  for (const auto& n : names) {
+    CERTFIX_ASSIGN_OR_RETURN(AttrId id, IndexOf(n));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::string Schema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].name;
+    out += ":";
+    out += DataTypeName(attrs_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (name_ != other.name_ || attrs_.size() != other.attrs_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name != other.attrs_[i].name ||
+        attrs_[i].type != other.attrs_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace certfix

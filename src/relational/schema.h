@@ -1,0 +1,75 @@
+/// \file schema.h
+/// \brief Relation schema: an ordered list of named, typed attributes.
+
+#ifndef CERTFIX_RELATIONAL_SCHEMA_H_
+#define CERTFIX_RELATIONAL_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/attr_set.h"
+#include "relational/data_type.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace certfix {
+
+/// \brief A named attribute with a data type.
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kString;
+};
+
+/// \brief Immutable schema shared by tuples via shared_ptr.
+///
+/// The input schema R and the master schema Rm of the paper are both
+/// instances of this class; attribute positions (AttrId) index tuples.
+class Schema {
+ public:
+  Schema(std::string name, std::vector<Attribute> attrs);
+
+  /// Builder convenience: all-string attributes from names.
+  static std::shared_ptr<Schema> Make(std::string name,
+                                      const std::vector<std::string>& attrs);
+  static std::shared_ptr<Schema> Make(std::string name,
+                                      std::vector<Attribute> attrs);
+
+  const std::string& name() const { return name_; }
+  size_t num_attrs() const { return attrs_.size(); }
+  const Attribute& attr(AttrId id) const { return attrs_[id]; }
+  const std::string& attr_name(AttrId id) const { return attrs_[id].name; }
+  DataType attr_type(AttrId id) const { return attrs_[id].type; }
+
+  /// Looks up an attribute position by name.
+  Result<AttrId> IndexOf(const std::string& attr_name) const;
+  /// True if the schema has an attribute of that name.
+  bool Has(const std::string& attr_name) const;
+
+  /// Resolves a list of names to ids; fails on the first unknown name.
+  Result<std::vector<AttrId>> Resolve(
+      const std::vector<std::string>& names) const;
+
+  /// Set of all attribute ids.
+  AttrSet AllAttrs() const {
+    return AttrSet::AllUpTo(static_cast<AttrId>(attrs_.size()));
+  }
+
+  /// "R(fn, ln, AC, ...)" rendering.
+  std::string ToString() const;
+
+  /// Structural equality (name, attribute names and types).
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, AttrId> index_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace certfix
+
+#endif  // CERTFIX_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,86 @@
+#include "relational/tuple.h"
+
+namespace certfix {
+
+Result<Tuple> Tuple::FromStrings(SchemaPtr schema,
+                                 const std::vector<std::string>& fields) {
+  if (fields.size() != schema->num_attrs()) {
+    return Status::InvalidArgument(
+        "field count " + std::to_string(fields.size()) +
+        " does not match schema arity " +
+        std::to_string(schema->num_attrs()));
+  }
+  std::vector<Value> values;
+  values.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    values.push_back(
+        Value::Parse(fields[i], schema->attr_type(static_cast<AttrId>(i))));
+  }
+  return Tuple(std::move(schema), std::move(values));
+}
+
+std::vector<Value> Tuple::Project(const std::vector<AttrId>& attrs) const {
+  std::vector<Value> out;
+  out.reserve(attrs.size());
+  for (AttrId a : attrs) out.push_back(values_[a]);
+  return out;
+}
+
+bool Tuple::AgreesOn(const std::vector<AttrId>& x, const Tuple& other,
+                     const std::vector<AttrId>& y) const {
+  if (x.size() != y.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (values_[x[i]] != other.values_[y[i]]) return false;
+  }
+  return true;
+}
+
+size_t Tuple::DiffCount(const Tuple& other) const {
+  size_t n = 0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] != other.values_[i]) ++n;
+  }
+  return n;
+}
+
+std::vector<AttrId> Tuple::DiffAttrs(const Tuple& other) const {
+  std::vector<AttrId> out;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] != other.values_[i]) out.push_back(static_cast<AttrId>(i));
+  }
+  return out;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+constexpr char kUnitSep = '\x1f';
+}
+
+std::string ProjectKey(const Tuple& t, const std::vector<AttrId>& attrs) {
+  std::string key;
+  for (AttrId a : attrs) {
+    key += t.at(a).ToString();
+    key += kUnitSep;
+  }
+  return key;
+}
+
+std::string ValuesKey(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    key += v.ToString();
+    key += kUnitSep;
+  }
+  return key;
+}
+
+}  // namespace certfix

@@ -1,0 +1,75 @@
+/// \file tuple.h
+/// \brief A tuple of values bound to a schema.
+
+#ifndef CERTFIX_RELATIONAL_TUPLE_H_
+#define CERTFIX_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace certfix {
+
+/// \brief One row of a relation.
+///
+/// Tuples are value-semantic; copying a tuple copies its cells (the schema
+/// is shared). Cells are addressed by AttrId.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(SchemaPtr schema)
+      : schema_(std::move(schema)), values_(schema_->num_attrs()) {}
+  Tuple(SchemaPtr schema, std::vector<Value> values)
+      : schema_(std::move(schema)), values_(std::move(values)) {}
+
+  /// Builds a tuple from string renderings, parsed per attribute type.
+  static Result<Tuple> FromStrings(SchemaPtr schema,
+                                   const std::vector<std::string>& fields);
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t size() const { return values_.size(); }
+
+  const Value& at(AttrId id) const { return values_[id]; }
+  Value& at(AttrId id) { return values_[id]; }
+  const Value& operator[](AttrId id) const { return values_[id]; }
+  Value& operator[](AttrId id) { return values_[id]; }
+
+  void Set(AttrId id, Value v) { values_[id] = std::move(v); }
+
+  /// Projection t[X] in list order.
+  std::vector<Value> Project(const std::vector<AttrId>& attrs) const;
+
+  /// True if t[X] agrees with other[Y] position-wise (|X| must equal |Y|).
+  bool AgreesOn(const std::vector<AttrId>& x, const Tuple& other,
+                const std::vector<AttrId>& y) const;
+
+  /// Number of attributes whose values differ (schemas assumed compatible).
+  size_t DiffCount(const Tuple& other) const;
+  /// Attribute ids where values differ.
+  std::vector<AttrId> DiffAttrs(const Tuple& other) const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  /// "(v1, v2, ...)" rendering.
+  std::string ToString() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+};
+
+/// Serializes a projection into a flat hashable key ("v1\x1fv2...").
+/// Hash-map friendly; values render unambiguously because the unit
+/// separator cannot appear in parsed CSV fields.
+std::string ProjectKey(const Tuple& t, const std::vector<AttrId>& attrs);
+
+/// Serializes an explicit value list into the same key format.
+std::string ValuesKey(const std::vector<Value>& values);
+
+}  // namespace certfix
+
+#endif  // CERTFIX_RELATIONAL_TUPLE_H_

@@ -1,0 +1,66 @@
+#include "relational/value.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace certfix {
+
+namespace {
+// Variant alternative index used for cross-type ordering and hashing.
+template <typename Rep>
+size_t AltIndex(const Rep& rep) {
+  return rep.index();
+}
+}  // namespace
+
+bool Value::operator<(const Value& other) const {
+  if (rep_.index() != other.rep_.index()) {
+    return rep_.index() < other.rep_.index();
+  }
+  if (is_int()) return as_int() < other.as_int();
+  if (is_double()) return as_double() < other.as_double();
+  if (is_string()) return as_string() < other.as_string();
+  return false;  // both null
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "<null>";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", as_double());
+    return buf;
+  }
+  return as_string();
+}
+
+Value Value::Parse(const std::string& text, DataType type) {
+  if (text.empty() || text == "<null>") return Value();
+  switch (type) {
+    case DataType::kInt:
+      if (IsInteger(text)) return Value::Int(std::strtoll(text.c_str(), nullptr, 10));
+      return Value();
+    case DataType::kDouble:
+      if (IsDouble(text)) return Value::Double(std::strtod(text.c_str(), nullptr));
+      return Value();
+    case DataType::kString:
+      return Value::Str(text);
+  }
+  return Value();
+}
+
+size_t Value::Hash() const {
+  size_t seed = rep_.index() * 0x9e3779b97f4a7c15ULL;
+  size_t h = 0;
+  if (is_int()) {
+    h = std::hash<int64_t>()(as_int());
+  } else if (is_double()) {
+    h = std::hash<double>()(as_double());
+  } else if (is_string()) {
+    h = std::hash<std::string>()(as_string());
+  }
+  return seed ^ (h + 0x9e3779b9 + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace certfix

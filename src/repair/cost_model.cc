@@ -1,0 +1,13 @@
+#include "repair/cost_model.h"
+
+#include "util/edit_distance.h"
+
+namespace certfix {
+
+double CostModel::Distance(const Value& from, const Value& to) {
+  if (from == to) return 0.0;
+  if (from.is_null() || to.is_null()) return 1.0;
+  return NormalizedEditDistance(from.ToString(), to.ToString());
+}
+
+}  // namespace certfix

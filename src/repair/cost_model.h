@@ -1,0 +1,46 @@
+/// \file cost_model.h
+/// \brief The repair cost model of [Cong+ 07]: weighted, distance-scaled
+/// attribute modifications.
+
+#ifndef CERTFIX_REPAIR_COST_MODEL_H_
+#define CERTFIX_REPAIR_COST_MODEL_H_
+
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace certfix {
+
+/// \brief cost(v -> v') = w(t, A) * dis(v, v'), with dis the normalized
+/// Levenshtein distance on renderings (1 when either side is null and the
+/// other is not). Weights default to 1 and may be set per cell to model
+/// attribute confidence.
+class CostModel {
+ public:
+  CostModel(size_t num_tuples, size_t num_attrs)
+      : num_attrs_(num_attrs), weights_(num_tuples * num_attrs, 1.0) {}
+
+  void SetWeight(size_t tuple, AttrId attr, double w) {
+    weights_[tuple * num_attrs_ + attr] = w;
+  }
+  double Weight(size_t tuple, AttrId attr) const {
+    return weights_[tuple * num_attrs_ + attr];
+  }
+
+  /// Distance between two cell values.
+  static double Distance(const Value& from, const Value& to);
+
+  /// Cost of changing rel[tuple][attr] to `target`.
+  double ChangeCost(const Relation& rel, size_t tuple, AttrId attr,
+                    const Value& target) const {
+    return Weight(tuple, attr) * Distance(rel.at(tuple).at(attr), target);
+  }
+
+ private:
+  size_t num_attrs_;
+  std::vector<double> weights_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_REPAIR_COST_MODEL_H_

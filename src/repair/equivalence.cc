@@ -1,0 +1,72 @@
+#include "repair/equivalence.h"
+
+namespace certfix {
+
+CellPartition::CellPartition(size_t num_tuples, size_t num_attrs)
+    : num_tuples_(num_tuples), num_attrs_(num_attrs) {
+  size_t n = num_tuples * num_attrs;
+  parent_.resize(n);
+  rank_.assign(n, 0);
+  pin_.resize(n);
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+size_t CellPartition::FindId(size_t id) {
+  while (parent_[id] != id) {
+    parent_[id] = parent_[parent_[id]];
+    id = parent_[id];
+  }
+  return id;
+}
+
+size_t CellPartition::Find(Cell c) { return FindId(Id(c)); }
+
+bool CellPartition::Union(Cell a, Cell b) {
+  size_t ra = FindId(Id(a));
+  size_t rb = FindId(Id(b));
+  if (ra == rb) return true;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  // Combine pins; clash when both set and different.
+  bool ok = true;
+  if (pin_[rb].has_value()) {
+    if (!pin_[ra].has_value()) {
+      pin_[ra] = pin_[rb];
+    } else if (*pin_[ra] != *pin_[rb]) {
+      ok = false;
+    }
+  }
+  pin_[rb].reset();
+  return ok;
+}
+
+bool CellPartition::Pin(Cell c, Value v) {
+  size_t r = FindId(Id(c));
+  if (pin_[r].has_value()) return *pin_[r] == v;
+  pin_[r] = std::move(v);
+  return true;
+}
+
+std::optional<Value> CellPartition::PinOf(Cell c) {
+  return pin_[FindId(Id(c))];
+}
+
+std::vector<std::vector<Cell>> CellPartition::Classes() {
+  std::vector<std::vector<Cell>> out;
+  std::vector<long> root_to_class(parent_.size(), -1);
+  for (size_t t = 0; t < num_tuples_; ++t) {
+    for (AttrId a = 0; a < num_attrs_; ++a) {
+      Cell c{t, a};
+      size_t r = FindId(Id(c));
+      if (root_to_class[r] < 0) {
+        root_to_class[r] = static_cast<long>(out.size());
+        out.emplace_back();
+      }
+      out[static_cast<size_t>(root_to_class[r])].push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace certfix

@@ -1,0 +1,63 @@
+/// \file equivalence.h
+/// \brief Union-find over cells (tuple, attribute), the backbone of the
+/// equivalence-class repair technique of IncRep [Cong+ 07, Bohannon+ 05].
+
+#ifndef CERTFIX_REPAIR_EQUIVALENCE_H_
+#define CERTFIX_REPAIR_EQUIVALENCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "relational/attr_set.h"
+#include "relational/value.h"
+
+namespace certfix {
+
+/// \brief A cell identifies one attribute of one tuple.
+struct Cell {
+  size_t tuple = 0;
+  AttrId attr = 0;
+  bool operator==(const Cell& o) const {
+    return tuple == o.tuple && attr == o.attr;
+  }
+};
+
+/// \brief Union-find over the cells of a |D| x |R| grid; classes may be
+/// pinned to a target constant (constant-CFD resolution). Merging two
+/// classes pinned to different constants is reported as a clash so the
+/// repair loop can fall back to cost-based resolution.
+class CellPartition {
+ public:
+  CellPartition(size_t num_tuples, size_t num_attrs);
+
+  size_t Find(Cell c);
+  /// Merges the classes of a and b; returns false on a pin clash (classes
+  /// stay merged, keeping the first pin).
+  bool Union(Cell a, Cell b);
+
+  /// Pins the class of c to value v; false on clash with an existing
+  /// different pin (pin unchanged).
+  bool Pin(Cell c, Value v);
+  /// The pinned target of c's class, if any.
+  std::optional<Value> PinOf(Cell c);
+
+  /// All cells grouped by class representative (for resolution).
+  std::vector<std::vector<Cell>> Classes();
+
+  size_t num_tuples() const { return num_tuples_; }
+  size_t num_attrs() const { return num_attrs_; }
+
+ private:
+  size_t Id(const Cell& c) const { return c.tuple * num_attrs_ + c.attr; }
+  size_t FindId(size_t id);
+
+  size_t num_tuples_;
+  size_t num_attrs_;
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  std::vector<std::optional<Value>> pin_;  // indexed by root id
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_REPAIR_EQUIVALENCE_H_

@@ -1,0 +1,112 @@
+#include "repair/increp.h"
+
+#include <map>
+
+#include "util/logging.h"
+
+namespace certfix {
+
+size_t IncRep::Pass(Relation* rel, const CostModel& costs, double* cost_out,
+                    std::vector<std::optional<Value>>* sticky) const {
+  std::vector<Violation> violations = DetectViolations(*cfds_, *rel);
+  if (violations.empty()) return 0;
+
+  size_t num_attrs = rel->schema()->num_attrs();
+  CellPartition partition(rel->size(), num_attrs);
+  for (const Violation& v : violations) {
+    const Cfd& cfd = cfds_->at(v.cfd_idx);
+    Cell a{v.tuple_a, v.attr};
+    if (v.tuple_b < 0) {
+      // Constant CFD: the dirty cell must become the pattern constant.
+      Value target = cfd.pattern().Get(cfd.rhs()).value();
+      (*sticky)[v.tuple_a * num_attrs + v.attr] = target;
+      partition.Pin(a, std::move(target));
+    } else {
+      Cell b{static_cast<size_t>(v.tuple_b), v.attr};
+      partition.Union(a, b);
+      PatternValue pb = cfd.pattern().Get(cfd.rhs());
+      if (pb.is_const()) partition.Pin(a, pb.value());
+    }
+  }
+  // Re-apply pins remembered from earlier passes so a variable-CFD merge
+  // cannot revert a constant-CFD repair.
+  for (size_t t = 0; t < rel->size(); ++t) {
+    for (AttrId a = 0; a < num_attrs; ++a) {
+      const std::optional<Value>& pin = (*sticky)[t * num_attrs + a];
+      if (pin.has_value()) partition.Pin(Cell{t, a}, *pin);
+    }
+  }
+
+  size_t changed = 0;
+  for (const std::vector<Cell>& cls : partition.Classes()) {
+    if (cls.size() == 1 && !partition.PinOf(cls[0]).has_value()) continue;
+
+    // Target: the pinned constant if any, else the class member value with
+    // minimal total change cost over the class.
+    Value target;
+    std::optional<Value> pin = partition.PinOf(cls[0]);
+    if (pin.has_value()) {
+      target = *pin;
+    } else {
+      std::map<std::string, std::pair<Value, double>> candidates;
+      for (const Cell& c : cls) {
+        const Value& v = rel->at(c.tuple).at(c.attr);
+        candidates.emplace(v.ToString(), std::make_pair(v, 0.0));
+      }
+      for (auto& [key, entry] : candidates) {
+        (void)key;
+        double total = 0.0;
+        for (const Cell& c : cls) {
+          total += costs.ChangeCost(*rel, c.tuple, c.attr, entry.first);
+        }
+        entry.second = total;
+      }
+      double best = -1.0;
+      for (const auto& [key, entry] : candidates) {
+        (void)key;
+        if (best < 0 || entry.second < best) {
+          best = entry.second;
+          target = entry.first;
+        }
+      }
+    }
+
+    for (const Cell& c : cls) {
+      Value& cell = rel->at(c.tuple).at(c.attr);
+      if (cell != target) {
+        *cost_out += costs.ChangeCost(*rel, c.tuple, c.attr, target);
+        cell = target;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+RepairResult IncRep::Repair(const Relation& dirty) const {
+  CostModel costs(dirty.size(), dirty.schema()->num_attrs());
+  return Repair(dirty, costs);
+}
+
+RepairResult IncRep::Repair(const Relation& dirty,
+                            const CostModel& costs) const {
+  RepairResult result;
+  result.repaired = dirty;
+  std::vector<std::optional<Value>> sticky(
+      dirty.size() * dirty.schema()->num_attrs());
+  for (size_t pass = 0; pass < options_.max_passes; ++pass) {
+    ++result.passes;
+    size_t changed =
+        Pass(&result.repaired, costs, &result.total_cost, &sticky);
+    result.cells_changed += changed;
+    if (options_.verbose) {
+      CERTFIX_LOG(kInfo) << "IncRep pass " << pass << ": " << changed
+                         << " cells changed";
+    }
+    if (changed == 0) break;
+  }
+  result.remaining_violations = CountViolations(*cfds_, result.repaired);
+  return result;
+}
+
+}  // namespace certfix

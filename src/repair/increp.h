@@ -1,0 +1,62 @@
+/// \file increp.h
+/// \brief IncRep: the CFD-based heuristic repairing baseline of Cong et
+/// al., "Improving Data Quality: Consistency and Accuracy" (VLDB 2007) —
+/// the comparator used in Exp-1(7) of the paper.
+///
+/// Given a dirty relation D and a CFD set, IncRep produces a repair D'
+/// satisfying the CFDs while (heuristically) minimizing the total change
+/// cost (cost_model.h). Constant-CFD violations pin the violating cell's
+/// equivalence class to the pattern constant; variable-CFD violations
+/// merge the two B cells' classes; each class is resolved to the value
+/// minimizing the summed change cost over its cells. Passes repeat until
+/// no violation remains or the pass budget is exhausted.
+
+#ifndef CERTFIX_REPAIR_INCREP_H_
+#define CERTFIX_REPAIR_INCREP_H_
+
+#include "cfd/violation.h"
+#include "repair/cost_model.h"
+#include "repair/equivalence.h"
+
+namespace certfix {
+
+/// \brief IncRep configuration.
+struct IncRepOptions {
+  size_t max_passes = 8;     ///< repair/detect iterations
+  bool verbose = false;
+};
+
+/// \brief Result of a repair run.
+struct RepairResult {
+  Relation repaired;
+  size_t passes = 0;
+  size_t cells_changed = 0;
+  size_t remaining_violations = 0;
+  double total_cost = 0.0;
+};
+
+/// \brief The IncRep repair engine.
+class IncRep {
+ public:
+  IncRep(const CfdSet& cfds, IncRepOptions options = {})
+      : cfds_(&cfds), options_(options) {}
+
+  /// Repairs a copy of `dirty`; weights default to 1 per cell.
+  RepairResult Repair(const Relation& dirty) const;
+  RepairResult Repair(const Relation& dirty, const CostModel& costs) const;
+
+ private:
+  // One pass: detect violations, build classes, resolve. Returns the
+  // number of cells changed. `sticky` carries constant-CFD target pins
+  // across passes so a later variable-CFD merge cannot undo them (which
+  // would oscillate forever).
+  size_t Pass(Relation* rel, const CostModel& costs, double* cost_out,
+              std::vector<std::optional<Value>>* sticky) const;
+
+  const CfdSet* cfds_;
+  IncRepOptions options_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_REPAIR_INCREP_H_

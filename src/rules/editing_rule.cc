@@ -1,0 +1,113 @@
+#include "rules/editing_rule.h"
+
+#include <set>
+
+namespace certfix {
+
+Result<EditingRule> EditingRule::Make(std::string name, SchemaPtr r,
+                                      SchemaPtr rm, std::vector<AttrId> x,
+                                      std::vector<AttrId> xm, AttrId b,
+                                      AttrId bm, PatternTuple tp) {
+  if (x.size() != xm.size()) {
+    return Status::InvalidArgument("rule " + name + ": |X| != |Xm|");
+  }
+  std::set<AttrId> seen;
+  for (AttrId a : x) {
+    if (a >= r->num_attrs()) {
+      return Status::OutOfRange("rule " + name + ": X attr out of range");
+    }
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument("rule " + name +
+                                     ": duplicate attribute in X");
+    }
+  }
+  for (AttrId a : xm) {
+    if (a >= rm->num_attrs()) {
+      return Status::OutOfRange("rule " + name + ": Xm attr out of range");
+    }
+  }
+  if (b >= r->num_attrs() || bm >= rm->num_attrs()) {
+    return Status::OutOfRange("rule " + name + ": B or Bm out of range");
+  }
+  if (seen.count(b) > 0) {
+    // Definition requires B in R \ X.
+    return Status::InvalidArgument("rule " + name + ": B must not be in X");
+  }
+  for (const auto& [attr, pv] : tp.cells()) {
+    (void)pv;
+    if (attr >= r->num_attrs()) {
+      return Status::OutOfRange("rule " + name + ": Xp attr out of range");
+    }
+  }
+  EditingRule rule;
+  rule.name_ = std::move(name);
+  rule.r_ = std::move(r);
+  rule.rm_ = std::move(rm);
+  rule.x_ = std::move(x);
+  rule.xm_ = std::move(xm);
+  rule.b_ = b;
+  rule.bm_ = bm;
+  rule.tp_ = std::move(tp);
+  rule.lhs_set_ = AttrSet::FromVector(rule.x_);
+  rule.premise_set_ = rule.lhs_set_.Union(rule.tp_.attrs());
+  return rule;
+}
+
+Result<EditingRule> EditingRule::MakeByName(
+    std::string name, SchemaPtr r, SchemaPtr rm,
+    const std::vector<std::string>& x, const std::vector<std::string>& xm,
+    const std::string& b, const std::string& bm, PatternTuple tp) {
+  CERTFIX_ASSIGN_OR_RETURN(std::vector<AttrId> xi, r->Resolve(x));
+  CERTFIX_ASSIGN_OR_RETURN(std::vector<AttrId> xmi, rm->Resolve(xm));
+  CERTFIX_ASSIGN_OR_RETURN(AttrId bi, r->IndexOf(b));
+  CERTFIX_ASSIGN_OR_RETURN(AttrId bmi, rm->IndexOf(bm));
+  return Make(std::move(name), std::move(r), std::move(rm), std::move(xi),
+              std::move(xmi), bi, bmi, std::move(tp));
+}
+
+Result<AttrId> EditingRule::MasterAttrFor(AttrId r_attr) const {
+  for (size_t i = 0; i < x_.size(); ++i) {
+    if (x_[i] == r_attr) return xm_[i];
+  }
+  return Status::NotFound("attribute not in lhs of rule " + name_);
+}
+
+bool EditingRule::AppliesTo(const Tuple& t, const Tuple& tm) const {
+  if (!tp_.Matches(t)) return false;
+  for (size_t i = 0; i < x_.size(); ++i) {
+    if (t.at(x_[i]) != tm.at(xm_[i])) return false;
+  }
+  return true;
+}
+
+Tuple EditingRule::TryApply(const Tuple& t, const Tuple& tm) const {
+  if (!AppliesTo(t, tm)) return t;
+  Tuple out = t;
+  Apply(&out, tm);
+  return out;
+}
+
+EditingRule EditingRule::Normalized() const {
+  EditingRule out = *this;
+  out.tp_ = tp_.Normalized();
+  out.premise_set_ = out.lhs_set_.Union(out.tp_.attrs());
+  return out;
+}
+
+std::string EditingRule::ToString() const {
+  std::string out = name_ + ": (";
+  for (size_t i = 0; i < x_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += r_->attr_name(x_[i]);
+  }
+  out += " | ";
+  for (size_t i = 0; i < xm_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += rm_->attr_name(xm_[i]);
+  }
+  out += ") -> (" + r_->attr_name(b_) + " | " + rm_->attr_name(bm_) + ")";
+  if (!tp_.empty()) out += " when " + tp_.ToString();
+  return out;
+}
+
+}  // namespace certfix

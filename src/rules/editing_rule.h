@@ -1,0 +1,101 @@
+/// \file editing_rule.h
+/// \brief Editing rules (eRs): ((X, Xm) -> (B, Bm), tp[Xp])  (Sect. 2).
+
+#ifndef CERTFIX_RULES_EDITING_RULE_H_
+#define CERTFIX_RULES_EDITING_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern_tuple.h"
+#include "relational/attr_set.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace certfix {
+
+/// \brief An editing rule phi = ((X, Xm) -> (B, Bm), tp[Xp]) on (R, Rm).
+///
+/// Semantics (Sect. 2): phi and a master tuple tm *apply* to an input tuple
+/// t, written t ->(phi,tm) t', iff (1) t[Xp] ≈ tp[Xp], (2) t[X] = tm[Xm],
+/// and (3) t' is obtained by t[B] := tm[Bm].
+class EditingRule {
+ public:
+  EditingRule() = default;
+
+  /// Validated construction: |X| = |Xm| > 0 (X may be empty only if the
+  /// rule still identifies a master tuple — the paper allows |X| = 0 in
+  /// reductions, so empty X is accepted), B not in X, ids in range.
+  static Result<EditingRule> Make(std::string name, SchemaPtr r,
+                                  SchemaPtr rm, std::vector<AttrId> x,
+                                  std::vector<AttrId> xm, AttrId b,
+                                  AttrId bm, PatternTuple tp);
+
+  /// Name-based construction convenience.
+  static Result<EditingRule> MakeByName(
+      std::string name, SchemaPtr r, SchemaPtr rm,
+      const std::vector<std::string>& x, const std::vector<std::string>& xm,
+      const std::string& b, const std::string& bm, PatternTuple tp);
+
+  const std::string& name() const { return name_; }
+  const SchemaPtr& r_schema() const { return r_; }
+  const SchemaPtr& rm_schema() const { return rm_; }
+
+  /// lhs(phi) = X as a list (master-side correspondence is positional).
+  const std::vector<AttrId>& lhs() const { return x_; }
+  /// lhsm(phi) = Xm.
+  const std::vector<AttrId>& lhsm() const { return xm_; }
+  /// rhs(phi) = B.
+  AttrId rhs() const { return b_; }
+  /// rhsm(phi) = Bm.
+  AttrId rhsm() const { return bm_; }
+  /// The pattern tuple tp[Xp].
+  const PatternTuple& pattern() const { return tp_; }
+
+  /// lhs as a set.
+  AttrSet lhs_set() const { return lhs_set_; }
+  /// lhsp(phi) = Xp as a set.
+  AttrSet pattern_set() const { return tp_.attrs(); }
+  /// lhs union lhsp: all premise attributes that must be validated before
+  /// the rule may fire.
+  AttrSet premise_set() const { return premise_set_; }
+
+  /// For an attribute A in X, the positionally corresponding master
+  /// attribute (the lambda_phi(.) map of Sect. 5.2). Fails if A not in X.
+  Result<AttrId> MasterAttrFor(AttrId r_attr) const;
+
+  /// Whether (phi, tm) applies to t: pattern match + key agreement.
+  bool AppliesTo(const Tuple& t, const Tuple& tm) const;
+
+  /// Applies the update t[B] := tm[Bm]; no applicability check.
+  void Apply(Tuple* t, const Tuple& tm) const { t->Set(b_, tm.at(bm_)); }
+
+  /// If (phi, tm) applies to t, returns the updated tuple; else t itself.
+  Tuple TryApply(const Tuple& t, const Tuple& tm) const;
+
+  /// Normal form (Sect. 2, Notations (3)): drops wildcard pattern cells.
+  EditingRule Normalized() const;
+
+  /// Direct-fix shape check (Sect. 4.1 special case (5)): Xp subset of X.
+  bool IsDirect() const { return pattern_set().SubsetOf(lhs_set_); }
+
+  /// "phi: R(zip) -> Rm(zip) fixes AC := AC when [ ... ]".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  SchemaPtr r_;
+  SchemaPtr rm_;
+  std::vector<AttrId> x_;
+  std::vector<AttrId> xm_;
+  AttrId b_ = 0;
+  AttrId bm_ = 0;
+  PatternTuple tp_;
+  AttrSet lhs_set_;
+  AttrSet premise_set_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_RULES_EDITING_RULE_H_

@@ -1,0 +1,340 @@
+#include "solver/reductions.h"
+
+#include <cassert>
+
+namespace certfix {
+
+namespace {
+Value V0() { return Value::Int(0); }
+Value V1() { return Value::Int(1); }
+}  // namespace
+
+ConsistencyInstance Reduce3SatToConsistency(const CnfFormula& formula) {
+  int m = formula.num_vars;
+  int n = static_cast<int>(formula.clauses.size());
+  assert(m + n + 3 <= static_cast<int>(AttrSet::kMaxAttrs));
+
+  // R(A, X1..Xm, C1..Cn, V, B); Rm(Y0, Y1, A, V, B); integer attributes.
+  std::vector<Attribute> r_attrs;
+  r_attrs.push_back({"A", DataType::kInt});
+  for (int i = 1; i <= m; ++i) {
+    r_attrs.push_back({"X" + std::to_string(i), DataType::kInt});
+  }
+  for (int j = 1; j <= n; ++j) {
+    r_attrs.push_back({"C" + std::to_string(j), DataType::kInt});
+  }
+  r_attrs.push_back({"V", DataType::kInt});
+  r_attrs.push_back({"B", DataType::kInt});
+  SchemaPtr r = Schema::Make("R3sat", r_attrs);
+  SchemaPtr rm = Schema::Make(
+      "Rm3sat", std::vector<Attribute>{{"Y0", DataType::kInt},
+                                       {"Y1", DataType::kInt},
+                                       {"A", DataType::kInt},
+                                       {"V", DataType::kInt},
+                                       {"B", DataType::kInt}});
+
+  ConsistencyInstance inst;
+  inst.r = r;
+  inst.rm = rm;
+  inst.dm = Relation(rm);
+  // tm1 = (0,1,1,1,1), tm2 = (0,1,1,1,0), tm3 = (0,1,1,0,1).
+  Status st = inst.dm.AppendStrings({"0", "1", "1", "1", "1"});
+  st = inst.dm.AppendStrings({"0", "1", "1", "1", "0"});
+  st = inst.dm.AppendStrings({"0", "1", "1", "1", "0"});  // placeholder
+  (void)st;
+  // Replace the third row properly: (0,1,1,0,1).
+  inst.dm.at(2).Set(3, V0());
+  inst.dm.at(2).Set(4, V1());
+
+  auto attr = [&](const std::string& name) {
+    Result<AttrId> id = r->IndexOf(name);
+    assert(id.ok());
+    return *id;
+  };
+  AttrId a_attr = attr("A");
+  AttrId v_attr = attr("V");
+  AttrId b_attr = attr("B");
+  AttrId y0 = 0;
+  AttrId y1 = 1;
+  AttrId ma = 2;
+  AttrId mv = 3;
+  AttrId mb = 4;
+
+  inst.rules = RuleSet(r, rm);
+  // Sigma_j: eight rules per clause, one per assignment of the clause's
+  // three variables; the target master column is Y0 when the assignment
+  // falsifies the clause and Y1 otherwise.
+  for (int j = 0; j < n; ++j) {
+    const Clause& clause = formula.clauses[static_cast<size_t>(j)];
+    AttrId cj = attr("C" + std::to_string(j + 1));
+    std::vector<AttrId> xp;
+    for (Literal lit : clause) {
+      xp.push_back(attr("X" + std::to_string(std::abs(lit))));
+    }
+    for (int bits = 0; bits < 8; ++bits) {
+      PatternTuple tp(r);
+      bool clause_true = false;
+      for (int i = 0; i < 3; ++i) {
+        bool bit = (bits >> i) & 1;
+        tp.SetConst(xp[static_cast<size_t>(i)], bit ? V1() : V0());
+        Literal lit = clause[static_cast<size_t>(i)];
+        if ((lit > 0) == bit) clause_true = true;
+      }
+      AttrId target_m = clause_true ? y1 : y0;
+      Result<EditingRule> rule = EditingRule::Make(
+          "c" + std::to_string(j + 1) + "_" + std::to_string(bits), r, rm,
+          {a_attr}, {ma}, cj, target_m, std::move(tp));
+      assert(rule.ok());
+      st = inst.rules.Add(std::move(rule).ValueOrDie());
+      assert(st.ok());
+    }
+  }
+  // Sigma_{C,V}: V := Y0 when some C_j = 0; V := Y1 when all C_j = 1.
+  for (int j = 0; j < n; ++j) {
+    PatternTuple tp(r);
+    tp.SetConst(attr("C" + std::to_string(j + 1)), V0());
+    Result<EditingRule> rule =
+        EditingRule::Make("v_from_c" + std::to_string(j + 1), r, rm,
+                          {a_attr}, {ma}, v_attr, y0, std::move(tp));
+    assert(rule.ok());
+    st = inst.rules.Add(std::move(rule).ValueOrDie());
+  }
+  {
+    PatternTuple tp(r);
+    for (int j = 0; j < n; ++j) {
+      tp.SetConst(attr("C" + std::to_string(j + 1)), V1());
+    }
+    Result<EditingRule> rule = EditingRule::Make(
+        "v_all_true", r, rm, {a_attr}, {ma}, v_attr, y1, std::move(tp));
+    assert(rule.ok());
+    st = inst.rules.Add(std::move(rule).ValueOrDie());
+  }
+  // Sigma_{V,B}: ((V, V) -> (B, B), ()).
+  {
+    Result<EditingRule> rule = EditingRule::Make(
+        "b_from_v", r, rm, {v_attr}, {mv}, b_attr, mb, PatternTuple(r));
+    assert(rule.ok());
+    st = inst.rules.Add(std::move(rule).ValueOrDie());
+  }
+
+  // Region: Z = (A, X1..Xm), tc = (1, _, ..., _).
+  std::vector<AttrId> z;
+  z.push_back(a_attr);
+  for (int i = 1; i <= m; ++i) z.push_back(attr("X" + std::to_string(i)));
+  inst.region = Region::Of(r, z);
+  PatternTuple tc(r);
+  tc.SetConst(a_attr, V1());
+  st = inst.region.AddRow(std::move(tc));
+  assert(st.ok());
+  return inst;
+}
+
+ZInstance Reduce3SatToZProblems(const CnfFormula& formula) {
+  int m = formula.num_vars;
+  int n = static_cast<int>(formula.clauses.size());
+  assert(m + n + 1 <= static_cast<int>(AttrSet::kMaxAttrs));
+
+  // R(X1..Xm, C1..Cn, V); Rm(B1, B2, B3, C, V1, V0).
+  std::vector<Attribute> r_attrs;
+  for (int i = 1; i <= m; ++i) {
+    r_attrs.push_back({"X" + std::to_string(i), DataType::kInt});
+  }
+  for (int j = 1; j <= n; ++j) {
+    r_attrs.push_back({"C" + std::to_string(j), DataType::kInt});
+  }
+  r_attrs.push_back({"V", DataType::kInt});
+  SchemaPtr r = Schema::Make("Rz", r_attrs);
+  SchemaPtr rm = Schema::Make(
+      "Rmz", std::vector<Attribute>{{"B1", DataType::kInt},
+                                    {"B2", DataType::kInt},
+                                    {"B3", DataType::kInt},
+                                    {"C", DataType::kInt},
+                                    {"V1", DataType::kInt},
+                                    {"V0", DataType::kInt}});
+
+  ZInstance inst;
+  inst.r = r;
+  inst.rm = rm;
+  inst.dm = Relation(rm);
+  // Eight master rows enumerating (B1,B2,B3) with (C,V1,V0) = (1,1,0).
+  for (int bits = 0; bits < 8; ++bits) {
+    Status st = inst.dm.AppendStrings(
+        {std::to_string(bits & 1), std::to_string((bits >> 1) & 1),
+         std::to_string((bits >> 2) & 1), "1", "1", "0"});
+    assert(st.ok());
+    (void)st;
+  }
+
+  auto attr = [&](const std::string& name) {
+    Result<AttrId> id = r->IndexOf(name);
+    assert(id.ok());
+    return *id;
+  };
+  AttrId mv1 = 4;
+  AttrId mv0 = 5;
+  AttrId mc = 3;
+  AttrId v_attr = attr("V");
+
+  inst.rules = RuleSet(r, rm);
+  for (int j = 0; j < n; ++j) {
+    const Clause& clause = formula.clauses[static_cast<size_t>(j)];
+    AttrId cj = attr("C" + std::to_string(j + 1));
+    std::vector<AttrId> x;
+    for (Literal lit : clause) {
+      x.push_back(attr("X" + std::to_string(std::abs(lit))));
+    }
+    std::vector<AttrId> xm = {0, 1, 2};  // B1, B2, B3
+    // phi_{j,1}: (X.. | B..) -> (Cj | C).
+    Result<EditingRule> r1 =
+        EditingRule::Make("z_c" + std::to_string(j + 1), r, rm, x, xm, cj,
+                          mc, PatternTuple(r));
+    assert(r1.ok());
+    Status st = inst.rules.Add(std::move(r1).ValueOrDie());
+    // phi_{j,2}: (X.. | B..) -> (V | V1).
+    Result<EditingRule> r2 =
+        EditingRule::Make("z_v1_" + std::to_string(j + 1), r, rm, x, xm,
+                          v_attr, mv1, PatternTuple(r));
+    assert(r2.ok());
+    st = inst.rules.Add(std::move(r2).ValueOrDie());
+    // phi_{j,3}: (X.. | B..) -> (V | V0) under the falsifying pattern.
+    PatternTuple tp(r);
+    for (size_t i = 0; i < 3; ++i) {
+      Literal lit = clause[i];
+      // The only assignment making the clause false sets each literal
+      // false: positive literal -> 0, negative literal -> 1.
+      tp.SetConst(x[i], lit > 0 ? V0() : V1());
+    }
+    Result<EditingRule> r3 =
+        EditingRule::Make("z_v0_" + std::to_string(j + 1), r, rm, x, xm,
+                          v_attr, mv0, std::move(tp));
+    assert(r3.ok());
+    st = inst.rules.Add(std::move(r3).ValueOrDie());
+    (void)st;
+  }
+  for (int i = 1; i <= m; ++i) {
+    inst.z.push_back(attr("X" + std::to_string(i)));
+  }
+  return inst;
+}
+
+std::vector<size_t> GreedySetCover(const SetCoverInstance& sc) {
+  std::vector<size_t> cover;
+  std::vector<bool> covered(sc.universe, false);
+  size_t remaining = sc.universe;
+  while (remaining > 0) {
+    size_t best = sc.sets.size();
+    size_t best_gain = 0;
+    for (size_t s = 0; s < sc.sets.size(); ++s) {
+      size_t gain = 0;
+      for (size_t x : sc.sets[s]) {
+        if (!covered[x]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = s;
+      }
+    }
+    if (best == sc.sets.size()) break;  // uncoverable
+    cover.push_back(best);
+    for (size_t x : sc.sets[best]) {
+      if (!covered[x]) {
+        covered[x] = true;
+        --remaining;
+      }
+    }
+  }
+  return cover;
+}
+
+size_t MinSetCoverSize(const SetCoverInstance& sc) {
+  assert(sc.sets.size() <= 20);
+  size_t best = sc.sets.size() + 1;
+  size_t total = 1ULL << sc.sets.size();
+  for (size_t mask = 0; mask < total; ++mask) {
+    std::vector<bool> covered(sc.universe, false);
+    size_t count = 0;
+    for (size_t s = 0; s < sc.sets.size(); ++s) {
+      if ((mask >> s) & 1) {
+        ++count;
+        for (size_t x : sc.sets[s]) covered[x] = true;
+      }
+    }
+    if (count >= best) continue;
+    bool all = true;
+    for (bool c : covered) all &= c;
+    if (all) best = count;
+  }
+  return best;
+}
+
+ZInstance ReduceSetCoverToZMinimum(const SetCoverInstance& sc) {
+  size_t h = sc.sets.size();
+  size_t n = sc.universe;
+  // R(C1..Ch, X_{1,1}..X_{1,h+1}, ..., X_{n,1}..X_{n,h+1}); Rm(B1, B2).
+  assert(h + n * (h + 1) <= AttrSet::kMaxAttrs);
+  std::vector<Attribute> r_attrs;
+  for (size_t j = 1; j <= h; ++j) {
+    r_attrs.push_back({"C" + std::to_string(j), DataType::kInt});
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t l = 1; l <= h + 1; ++l) {
+      r_attrs.push_back(
+          {"X" + std::to_string(i) + "_" + std::to_string(l),
+           DataType::kInt});
+    }
+  }
+  SchemaPtr r = Schema::Make("Rsc", r_attrs);
+  SchemaPtr rm = Schema::Make(
+      "Rmsc", std::vector<Attribute>{{"B1", DataType::kInt},
+                                     {"B2", DataType::kInt}});
+  ZInstance inst;
+  inst.r = r;
+  inst.rm = rm;
+  inst.dm = Relation(rm);
+  Status st = inst.dm.AppendStrings({"1", "1"});
+  assert(st.ok());
+
+  auto cattr = [&](size_t j) {
+    return static_cast<AttrId>(j - 1);  // C_j is attribute j-1
+  };
+  auto xattr = [&](size_t i, size_t l) {
+    return static_cast<AttrId>(h + (i - 1) * (h + 1) + (l - 1));
+  };
+
+  inst.rules = RuleSet(r, rm);
+  for (size_t j = 1; j <= h; ++j) {
+    const std::vector<size_t>& members = sc.sets[j - 1];
+    // For each element x_i in C_j: h+1 rules (C_j | B1) -> (X_{i,l} | B2).
+    for (size_t x : members) {
+      size_t i = x + 1;
+      for (size_t l = 1; l <= h + 1; ++l) {
+        Result<EditingRule> rule = EditingRule::Make(
+            "sc_c" + std::to_string(j) + "_x" + std::to_string(i) + "_" +
+                std::to_string(l),
+            r, rm, {cattr(j)}, {0}, xattr(i, l), 1, PatternTuple(r));
+        assert(rule.ok());
+        st = inst.rules.Add(std::move(rule).ValueOrDie());
+      }
+    }
+    // phi_{j,2}: all copies of C_j's elements -> C_j, pinning C_j as rhs.
+    std::vector<AttrId> lhs;
+    std::vector<AttrId> lhsm;
+    for (size_t x : members) {
+      size_t i = x + 1;
+      for (size_t l = 1; l <= h + 1; ++l) {
+        lhs.push_back(xattr(i, l));
+        lhsm.push_back(0);  // B1 repeated (as in the paper's reduction)
+      }
+    }
+    if (lhs.empty()) continue;  // empty set contributes no back rule
+    Result<EditingRule> rule = EditingRule::Make(
+        "sc_back" + std::to_string(j), r, rm, lhs, lhsm, cattr(j), 1,
+        PatternTuple(r));
+    assert(rule.ok());
+    st = inst.rules.Add(std::move(rule).ValueOrDie());
+    (void)st;
+  }
+  return inst;  // inst.z unused for the minimization problem
+}
+
+}  // namespace certfix

@@ -1,0 +1,66 @@
+/// \file reductions.h
+/// \brief The complexity reductions of Sect. 4, implemented as instance
+/// generators and used as cross-validating oracles in the test suite.
+///
+///  * 3SAT -> consistency (proof of Theorem 1): the instance is consistent
+///    relative to (Z, Tc) iff the formula is UNsatisfiable.
+///  * 3SAT -> Z-validating / Z-counting (proofs of Theorems 6 and 9): a
+///    non-empty certain tableau exists iff the formula is satisfiable, and
+///    the number of valid pattern tuples equals the model count.
+///  * Set cover -> Z-minimum (proof of Theorem 12): a certain region with
+///    |Z| <= K exists iff a cover of size K exists.
+
+#ifndef CERTFIX_SOLVER_REDUCTIONS_H_
+#define CERTFIX_SOLVER_REDUCTIONS_H_
+
+#include "core/region.h"
+#include "relational/relation.h"
+#include "rules/rule_set.h"
+#include "solver/sat.h"
+
+namespace certfix {
+
+/// \brief A generated consistency-problem instance (Theorem 1 shape).
+struct ConsistencyInstance {
+  SchemaPtr r;
+  SchemaPtr rm;
+  Relation dm;
+  RuleSet rules;
+  Region region;  ///< (Z, Tc) with Z = (A, X1..Xm), tc = (1, _, ..., _)
+};
+
+/// Builds the Theorem 1 instance for `formula` (needs m + n + 3 <= 64
+/// attributes on R).
+ConsistencyInstance Reduce3SatToConsistency(const CnfFormula& formula);
+
+/// \brief A generated Z-problem instance (Theorem 6 shape).
+struct ZInstance {
+  SchemaPtr r;
+  SchemaPtr rm;
+  Relation dm;
+  RuleSet rules;
+  std::vector<AttrId> z;  ///< Z = (X1, ..., Xm)
+};
+
+/// Builds the Theorem 6/9 instance for `formula` (m + n + 1 attributes).
+ZInstance Reduce3SatToZProblems(const CnfFormula& formula);
+
+/// \brief A set-cover instance: universe {0..universe-1} and subsets.
+struct SetCoverInstance {
+  size_t universe = 0;
+  std::vector<std::vector<size_t>> sets;
+};
+
+/// Greedy set-cover (for generating test expectations).
+std::vector<size_t> GreedySetCover(const SetCoverInstance& sc);
+/// Exact minimum cover size by subset enumeration (|sets| <= 20).
+size_t MinSetCoverSize(const SetCoverInstance& sc);
+
+/// Builds the Theorem 12 instance: R has h + n*(h+1) attributes, Rm(B1,B2),
+/// Dm = {(1,1)}; a certain region with |Z| <= K exists iff a cover of size
+/// <= K exists.
+ZInstance ReduceSetCoverToZMinimum(const SetCoverInstance& sc);
+
+}  // namespace certfix
+
+#endif  // CERTFIX_SOLVER_REDUCTIONS_H_

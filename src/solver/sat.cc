@@ -1,0 +1,152 @@
+#include "solver/sat.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace certfix {
+
+bool CnfFormula::Satisfied(const std::vector<bool>& assignment) const {
+  for (const Clause& clause : clauses) {
+    bool sat = false;
+    for (Literal lit : clause) {
+      int v = std::abs(lit) - 1;
+      bool val = assignment[static_cast<size_t>(v)];
+      if ((lit > 0 && val) || (lit < 0 && !val)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::string CnfFormula::ToString() const {
+  std::string out;
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    if (c > 0) out += " ^ ";
+    out += "(";
+    for (size_t i = 0; i < clauses[c].size(); ++i) {
+      if (i > 0) out += " v ";
+      Literal lit = clauses[c][i];
+      if (lit < 0) out += "!";
+      out += "x" + std::to_string(std::abs(lit));
+    }
+    out += ")";
+  }
+  return out;
+}
+
+CnfFormula RandomThreeSat(int num_vars, int num_clauses, Rng* rng) {
+  assert(num_vars >= 3);
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    // Three distinct variables, random polarity.
+    std::vector<int> vars;
+    while (vars.size() < 3) {
+      int v = static_cast<int>(rng->Uniform(1, num_vars));
+      bool dup = false;
+      for (int u : vars) dup |= (u == v);
+      if (!dup) vars.push_back(v);
+    }
+    Clause clause;
+    for (int v : vars) clause.push_back(rng->Bernoulli(0.5) ? v : -v);
+    f.clauses.push_back(std::move(clause));
+  }
+  return f;
+}
+
+bool DpllSolver::UnitPropagate(const CnfFormula& formula,
+                               std::vector<int>* assign, bool* conflict) {
+  *conflict = false;
+  bool changed = false;
+  bool fixpoint = false;
+  while (!fixpoint) {
+    fixpoint = true;
+    for (const Clause& clause : formula.clauses) {
+      int unassigned = 0;
+      Literal unit = 0;
+      bool sat = false;
+      for (Literal lit : clause) {
+        int v = std::abs(lit) - 1;
+        int val = (*assign)[static_cast<size_t>(v)];
+        if (val < 0) {
+          ++unassigned;
+          unit = lit;
+        } else if ((lit > 0) == (val == 1)) {
+          sat = true;
+          break;
+        }
+      }
+      if (sat) continue;
+      if (unassigned == 0) {
+        *conflict = true;
+        return changed;
+      }
+      if (unassigned == 1) {
+        (*assign)[static_cast<size_t>(std::abs(unit) - 1)] = unit > 0 ? 1 : 0;
+        changed = true;
+        fixpoint = false;
+      }
+    }
+  }
+  return changed;
+}
+
+bool DpllSolver::Dpll(const CnfFormula& formula, std::vector<int>* assign) {
+  bool conflict = false;
+  std::vector<int> saved = *assign;
+  UnitPropagate(formula, assign, &conflict);
+  if (conflict) {
+    *assign = saved;
+    return false;
+  }
+  // Pick the first unassigned variable.
+  int branch = -1;
+  for (size_t v = 0; v < assign->size(); ++v) {
+    if ((*assign)[v] < 0) {
+      branch = static_cast<int>(v);
+      break;
+    }
+  }
+  if (branch < 0) return true;  // fully assigned, no conflict
+  for (int value : {1, 0}) {
+    std::vector<int> child = *assign;
+    child[static_cast<size_t>(branch)] = value;
+    if (Dpll(formula, &child)) {
+      *assign = child;
+      return true;
+    }
+  }
+  *assign = saved;
+  return false;
+}
+
+std::optional<std::vector<bool>> DpllSolver::Solve(
+    const CnfFormula& formula) {
+  std::vector<int> assign(static_cast<size_t>(formula.num_vars), -1);
+  if (!Dpll(formula, &assign)) return std::nullopt;
+  std::vector<bool> out(assign.size());
+  for (size_t v = 0; v < assign.size(); ++v) {
+    out[v] = assign[v] == 1;  // unassigned-after-success means free: false
+  }
+  assert(formula.Satisfied(out));
+  return out;
+}
+
+uint64_t DpllSolver::CountModels(const CnfFormula& formula) {
+  assert(formula.num_vars <= 24);
+  uint64_t count = 0;
+  uint64_t total = 1ULL << formula.num_vars;
+  std::vector<bool> assign(static_cast<size_t>(formula.num_vars));
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    for (int v = 0; v < formula.num_vars; ++v) {
+      assign[static_cast<size_t>(v)] = (mask >> v) & 1;
+    }
+    if (formula.Satisfied(assign)) ++count;
+  }
+  return count;
+}
+
+}  // namespace certfix

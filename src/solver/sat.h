@@ -1,0 +1,59 @@
+/// \file sat.h
+/// \brief Small CNF/3SAT toolkit: a DPLL solver and a model counter.
+///
+/// Used to cross-validate the intractability reductions of Sect. 4: a
+/// random 3SAT instance is solved here and, independently, translated into
+/// a consistency / Z-counting instance (reductions.h); the two answers
+/// must agree (property tests in tests/reductions_test.cc).
+
+#ifndef CERTFIX_SOLVER_SAT_H_
+#define CERTFIX_SOLVER_SAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace certfix {
+
+/// A literal: +v for variable v, -v for its negation (v >= 1).
+using Literal = int;
+/// A clause: disjunction of literals.
+using Clause = std::vector<Literal>;
+
+/// \brief A CNF formula over variables 1..num_vars.
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+
+  /// True iff the assignment (index v-1 holds var v) satisfies the formula.
+  bool Satisfied(const std::vector<bool>& assignment) const;
+
+  /// "(x1 v !x2 v x3) ^ ..." rendering.
+  std::string ToString() const;
+};
+
+/// Uniformly random 3-CNF with exactly three distinct variables per clause.
+CnfFormula RandomThreeSat(int num_vars, int num_clauses, Rng* rng);
+
+/// \brief Iterative DPLL with unit propagation and pure-literal rule.
+class DpllSolver {
+ public:
+  /// A satisfying assignment, or nullopt if unsatisfiable.
+  std::optional<std::vector<bool>> Solve(const CnfFormula& formula);
+
+  /// Number of satisfying assignments (exhaustive; num_vars <= 24).
+  static uint64_t CountModels(const CnfFormula& formula);
+
+ private:
+  // Assignment state: -1 unset, 0 false, 1 true.
+  bool Dpll(const CnfFormula& formula, std::vector<int>* assign);
+  static bool UnitPropagate(const CnfFormula& formula,
+                            std::vector<int>* assign, bool* conflict);
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_SOLVER_SAT_H_

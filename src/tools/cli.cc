@@ -1,0 +1,302 @@
+#include "tools/cli.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "core/batch_repair.h"
+#include "core/dependency_graph.h"
+#include "core/zproblems.h"
+#include "core/cregion.h"
+#include "mining/rule_miner.h"
+#include "relational/csv.h"
+#include "rules/rule_parser.h"
+#include "util/string_util.h"
+
+namespace certfix {
+
+namespace {
+
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> errors;
+};
+
+ParsedArgs ParseArgs(const std::vector<std::string>& args) {
+  ParsedArgs out;
+  if (args.empty()) {
+    out.errors.push_back("missing subcommand");
+    return out;
+  }
+  out.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (!StartsWith(a, "--")) {
+      out.errors.push_back("unexpected positional argument: " + a);
+      continue;
+    }
+    std::string key = a.substr(2);
+    if (key == "no-conditional") {
+      out.flags[key] = "true";
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      out.errors.push_back("flag --" + key + " needs a value");
+      continue;
+    }
+    out.flags[key] = args[++i];
+  }
+  return out;
+}
+
+void Usage(std::ostream& err) {
+  err << "usage: certfix <mine|analyze|check|repair> [flags]\n"
+      << "  mine    --master M.csv [--max-lhs N] [--no-conditional]\n"
+      << "  analyze --master M.csv --rules R.rules\n"
+      << "  check   --master M.csv --rules R.rules --region a,b,c\n"
+      << "  repair  --master M.csv --rules R.rules --input D.csv\n"
+      << "          --trusted a,b [--output OUT.csv]\n";
+}
+
+/// Renders a rule in the DSL accepted by rule_parser.h.
+std::string ToDsl(const EditingRule& rule) {
+  std::string out = "rule " + rule.name() + ": (";
+  for (size_t i = 0; i < rule.lhs().size(); ++i) {
+    out += (i ? ", " : "") + rule.r_schema()->attr_name(rule.lhs()[i]);
+  }
+  out += " | ";
+  for (size_t i = 0; i < rule.lhsm().size(); ++i) {
+    out += (i ? ", " : "") + rule.rm_schema()->attr_name(rule.lhsm()[i]);
+  }
+  out += ") -> (" + rule.r_schema()->attr_name(rule.rhs()) + " | " +
+         rule.rm_schema()->attr_name(rule.rhsm()) + ")";
+  if (!rule.pattern().empty()) {
+    out += " when ";
+    bool first = true;
+    for (const auto& [attr, pv] : rule.pattern().cells()) {
+      if (!first) out += ", ";
+      first = false;
+      out += rule.r_schema()->attr_name(attr);
+      if (pv.is_wildcard()) {
+        out += "=_";
+      } else {
+        out += pv.is_neg_const() ? "!=" : "=";
+        out += "\"" + pv.value().ToString() + "\"";
+      }
+    }
+  }
+  return out;
+}
+
+Result<Relation> LoadMaster(const ParsedArgs& args) {
+  auto it = args.flags.find("master");
+  if (it == args.flags.end()) {
+    return Status::InvalidArgument("--master is required");
+  }
+  return ReadCsvFileInferSchema("Master", it->second);
+}
+
+Result<RuleSet> LoadRules(const ParsedArgs& args, const SchemaPtr& schema) {
+  auto it = args.flags.find("rules");
+  if (it == args.flags.end()) {
+    return Status::InvalidArgument("--rules is required");
+  }
+  std::ifstream in(it->second);
+  if (!in) return Status::NotFound("cannot open rules file: " + it->second);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ParseRules(buf.str(), schema, schema);
+}
+
+Result<std::vector<AttrId>> ResolveList(const SchemaPtr& schema,
+                                        const std::string& csv) {
+  std::vector<std::string> names;
+  for (const std::string& part : Split(csv, ',')) {
+    std::string t(Trim(part));
+    if (!t.empty()) names.push_back(t);
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("empty attribute list");
+  }
+  return schema->Resolve(names);
+}
+
+int CmdMine(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  Result<Relation> master = LoadMaster(args);
+  if (!master.ok()) {
+    err << master.status() << "\n";
+    return 2;
+  }
+  RuleMinerOptions options;
+  auto it = args.flags.find("max-lhs");
+  if (it != args.flags.end()) {
+    options.max_lhs = std::strtoul(it->second.c_str(), nullptr, 10);
+  }
+  if (args.flags.count("no-conditional") > 0) {
+    options.mine_conditional = false;
+  }
+  RuleMiner miner(*master, options);
+  Result<RuleSet> rules =
+      miner.MineRules(master->schema(), master->schema());
+  if (!rules.ok()) {
+    err << rules.status() << "\n";
+    return 2;
+  }
+  out << "# " << rules->size() << " rules mined from "
+      << master->size() << " master rows\n";
+  for (const EditingRule& rule : *rules) out << ToDsl(rule) << "\n";
+  return 0;
+}
+
+int CmdAnalyze(const ParsedArgs& args, std::ostream& out,
+               std::ostream& err) {
+  Result<Relation> master = LoadMaster(args);
+  if (!master.ok()) {
+    err << master.status() << "\n";
+    return 2;
+  }
+  Result<RuleSet> rules = LoadRules(args, master->schema());
+  if (!rules.ok()) {
+    err << rules.status() << "\n";
+    return 2;
+  }
+  MasterIndex index(*rules, *master);
+  Saturator sat(*rules, *master, index);
+  RegionFinder finder(sat);
+  DependencyGraph graph(*rules);
+
+  out << "rules: " << rules->size() << ", master rows: " << master->size()
+      << "\n";
+  out << "dependency graph " << (graph.HasCycle() ? "(cyclic)" : "(acyclic)")
+      << ":\n"
+      << graph.ToDot();
+  ZProblems z(sat);
+  out << "attributes only the user can certify:";
+  for (AttrId a : z.ForcedAttrs().ToVector()) {
+    out << " " << master->schema()->attr_name(a);
+  }
+  out << "\nCompCRegion Z:";
+  for (AttrId a : finder.CompCRegionZ()) {
+    out << " " << master->schema()->attr_name(a);
+  }
+  out << "\nGRegion Z    :";
+  for (AttrId a : finder.GRegionZ()) {
+    out << " " << master->schema()->attr_name(a);
+  }
+  out << "\n";
+  return 0;
+}
+
+int CmdCheck(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  Result<Relation> master = LoadMaster(args);
+  if (!master.ok()) {
+    err << master.status() << "\n";
+    return 2;
+  }
+  Result<RuleSet> rules = LoadRules(args, master->schema());
+  if (!rules.ok()) {
+    err << rules.status() << "\n";
+    return 2;
+  }
+  auto it = args.flags.find("region");
+  if (it == args.flags.end()) {
+    err << "--region is required\n";
+    return 1;
+  }
+  Result<std::vector<AttrId>> z = ResolveList(master->schema(), it->second);
+  if (!z.ok()) {
+    err << z.status() << "\n";
+    return 2;
+  }
+  MasterIndex index(*rules, *master);
+  Saturator sat(*rules, *master, index);
+  RegionFinder finder(sat);
+  double coverage = 0.0;
+  CRegionOptions options;
+  Region region = finder.BuildRegion(*z, options, &coverage);
+  out << "region Z = {" << it->second << "}: " << region.tableau().size()
+      << " validated pattern rows; " << static_cast<int>(coverage * 100)
+      << "% of sampled master tuples admit a certain fix\n";
+  if (region.tableau().empty()) {
+    out << "NOT a usable certain region (no pattern row validates)\n";
+    return 2;
+  }
+  out << "certain region: yes (for the validated rows)\n";
+  return 0;
+}
+
+int CmdRepair(const ParsedArgs& args, std::ostream& out,
+              std::ostream& err) {
+  Result<Relation> master = LoadMaster(args);
+  if (!master.ok()) {
+    err << master.status() << "\n";
+    return 2;
+  }
+  Result<RuleSet> rules = LoadRules(args, master->schema());
+  if (!rules.ok()) {
+    err << rules.status() << "\n";
+    return 2;
+  }
+  auto input_it = args.flags.find("input");
+  auto trusted_it = args.flags.find("trusted");
+  if (input_it == args.flags.end() || trusted_it == args.flags.end()) {
+    err << "--input and --trusted are required\n";
+    return 1;
+  }
+  Result<Relation> input =
+      ReadCsvFile(master->schema(), input_it->second);
+  if (!input.ok()) {
+    err << input.status() << "\n";
+    return 2;
+  }
+  Result<std::vector<AttrId>> trusted =
+      ResolveList(master->schema(), trusted_it->second);
+  if (!trusted.ok()) {
+    err << trusted.status() << "\n";
+    return 2;
+  }
+  MasterIndex index(*rules, *master);
+  Saturator sat(*rules, *master, index);
+  BatchRepair repair(sat);
+  BatchRepairResult result =
+      repair.Repair(*input, AttrSet::FromVector(*trusted));
+  out << "rows: " << input->size()
+      << "  fully covered: " << result.tuples_fully_covered
+      << "  partial: " << result.tuples_partial
+      << "  untouched: " << result.tuples_untouched
+      << "  conflicts: " << result.tuples_conflicting
+      << "  cells changed: " << result.cells_changed << "\n";
+  auto output_it = args.flags.find("output");
+  if (output_it != args.flags.end()) {
+    Status st = WriteCsvFile(result.repaired, output_it->second);
+    if (!st.ok()) {
+      err << st << "\n";
+      return 2;
+    }
+    out << "repaired relation written to " << output_it->second << "\n";
+  }
+  return result.tuples_conflicting == 0 ? 0 : 2;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  ParsedArgs parsed = ParseArgs(args);
+  if (!parsed.errors.empty()) {
+    for (const std::string& e : parsed.errors) err << "error: " << e << "\n";
+    Usage(err);
+    return 1;
+  }
+  if (parsed.command == "mine") return CmdMine(parsed, out, err);
+  if (parsed.command == "analyze") return CmdAnalyze(parsed, out, err);
+  if (parsed.command == "check") return CmdCheck(parsed, out, err);
+  if (parsed.command == "repair") return CmdRepair(parsed, out, err);
+  err << "unknown subcommand: " << parsed.command << "\n";
+  Usage(err);
+  return 1;
+}
+
+}  // namespace certfix

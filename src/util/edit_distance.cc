@@ -1,0 +1,32 @@
+#include "util/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace certfix {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Single-row dynamic program: row[j] = distance(a[0..i), b[0..j)).
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t j = 0; j <= a.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= b.size(); ++i) {
+    size_t prev_diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= a.size(); ++j) {
+      size_t cur = row[j];
+      size_t sub = prev_diag + (a[j - 1] == b[i - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      prev_diag = cur;
+    }
+  }
+  return row[a.size()];
+}
+
+double NormalizedEditDistance(std::string_view a, std::string_view b) {
+  size_t m = std::max(a.size(), b.size());
+  if (m == 0) return 0.0;
+  return static_cast<double>(EditDistance(a, b)) / static_cast<double>(m);
+}
+
+}  // namespace certfix

@@ -1,0 +1,20 @@
+/// \file edit_distance.h
+/// \brief Levenshtein distance, used by the IncRep cost model [Cong+ 07].
+
+#ifndef CERTFIX_UTIL_EDIT_DISTANCE_H_
+#define CERTFIX_UTIL_EDIT_DISTANCE_H_
+
+#include <string_view>
+
+namespace certfix {
+
+/// Classic Levenshtein distance (unit insert/delete/substitute costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Normalized distance in [0,1]: EditDistance / max(|a|,|b|); 0 when both
+/// strings are empty. This is the dis(v,v') metric of the IncRep cost model.
+double NormalizedEditDistance(std::string_view a, std::string_view b);
+
+}  // namespace certfix
+
+#endif  // CERTFIX_UTIL_EDIT_DISTANCE_H_

@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/string_util.h"
+
+namespace certfix {
+
+namespace {
+LogLevel InitLevel() {
+  const char* env = std::getenv("CERTFIX_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  std::string v = ToLower(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+LogLevel g_level = InitLevel();
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::cerr << "[certfix " << LevelName(level) << "] " << msg << "\n";
+}
+
+}  // namespace certfix

@@ -1,0 +1,45 @@
+/// \file logging.h
+/// \brief Minimal leveled logger; off by default, enabled via env or API.
+
+#ifndef CERTFIX_UTIL_LOGGING_H_
+#define CERTFIX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace certfix {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Initialized from the
+/// CERTFIX_LOG env var ("debug"/"info"/"warn"/"error", default off).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Emit one log line to stderr (thread-compatible, not thread-safe).
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace internal
+
+#define CERTFIX_LOG(level)                                      \
+  if (::certfix::LogLevel::level >= ::certfix::GetLogLevel())   \
+  ::certfix::internal::LogStream(::certfix::LogLevel::level)
+
+}  // namespace certfix
+
+#endif  // CERTFIX_UTIL_LOGGING_H_

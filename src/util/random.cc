@@ -1,0 +1,41 @@
+#include "util/random.h"
+
+#include <cassert>
+
+namespace certfix {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+}
+
+std::string Rng::AlphaString(size_t len) {
+  std::string s(len, 'a');
+  for (char& c : s) c = static_cast<char>('a' + Uniform(0, 25));
+  return s;
+}
+
+std::string Rng::DigitString(size_t len) {
+  std::string s(len, '0');
+  for (char& c : s) c = static_cast<char>('0' + Uniform(0, 9));
+  return s;
+}
+
+}  // namespace certfix

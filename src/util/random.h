@@ -1,0 +1,56 @@
+/// \file random.h
+/// \brief Deterministic PRNG wrapper used by generators and heuristics.
+
+#ifndef CERTFIX_UTIL_RANDOM_H_
+#define CERTFIX_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace certfix {
+
+/// \brief Seeded Mersenne-Twister with convenience draws.
+///
+/// All stochastic components (dirty-data generator, randomized region
+/// search) take an Rng so experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p.
+  bool Bernoulli(double p);
+
+  /// Uniform index in [0, n); n must be > 0.
+  size_t Index(size_t n);
+
+  /// Random lower-case ASCII string of length `len`.
+  std::string AlphaString(size_t len);
+
+  /// Random digits string of length `len`.
+  std::string DigitString(size_t len);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_UTIL_RANDOM_H_

@@ -1,0 +1,64 @@
+/// \file result.h
+/// \brief Result<T>: a value or a Status, in the style of arrow::Result.
+
+#ifndef CERTFIX_UTIL_RESULT_H_
+#define CERTFIX_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace certfix {
+
+/// \brief Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; undefined if !ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+  /// Move the value into `out` or return the error status.
+  Status Value(T* out) && {
+    if (!ok()) return status_;
+    *out = std::move(*value_);
+    return Status::OK();
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Assign the value of a Result expression to `lhs` or propagate the error.
+#define CERTFIX_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto CERTFIX_CONCAT_(_res_, __LINE__) = (rexpr);             \
+  if (!CERTFIX_CONCAT_(_res_, __LINE__).ok())                  \
+    return CERTFIX_CONCAT_(_res_, __LINE__).status();          \
+  lhs = std::move(CERTFIX_CONCAT_(_res_, __LINE__)).ValueOrDie()
+#define CERTFIX_CONCAT_(a, b) CERTFIX_CONCAT_IMPL_(a, b)
+#define CERTFIX_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace certfix
+
+#endif  // CERTFIX_UTIL_RESULT_H_

@@ -1,0 +1,37 @@
+/// \file string_util.h
+/// \brief Small string helpers shared across modules.
+
+#ifndef CERTFIX_UTIL_STRING_UTIL_H_
+#define CERTFIX_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace certfix {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Remove ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Join `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lower-case ASCII copy.
+std::string ToLower(std::string_view s);
+
+/// True if `s` parses as a (signed) decimal integer.
+bool IsInteger(std::string_view s);
+
+/// True if `s` parses as a floating point literal.
+bool IsDouble(std::string_view s);
+
+}  // namespace certfix
+
+#endif  // CERTFIX_UTIL_STRING_UTIL_H_

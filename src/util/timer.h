@@ -1,0 +1,36 @@
+/// \file timer.h
+/// \brief Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef CERTFIX_UTIL_TIMER_H_
+#define CERTFIX_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace certfix {
+
+/// \brief Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_UTIL_TIMER_H_

@@ -1,0 +1,165 @@
+#include "workload/dblp.h"
+
+#include <cassert>
+#include <set>
+
+#include "rules/rule_parser.h"
+
+namespace certfix {
+
+SchemaPtr DblpWorkload::MakeSchema() {
+  return Schema::Make(
+      "DBLP", std::vector<std::string>{"ptitle", "a1", "a2", "hp1", "hp2",
+                                       "btitle", "publisher", "isbn",
+                                       "crossref", "year", "type", "pages"});
+}
+
+RuleSet DblpWorkload::MakeRules(const SchemaPtr& schema) {
+  const char* text = R"(
+    # Author homepages; phi2/phi4 map across attributes (a2 vs a1), which
+    # CFDs cannot even express syntactically (Sect. 6 of the paper).
+    rule phi1: (a1 | a1) -> (hp1 | hp1) when a1!=""
+    rule phi2: (a2 | a1) -> (hp2 | hp1) when a2!=""
+    rule phi3: (a2 | a2) -> (hp2 | hp2) when a2!=""
+    rule phi4: (a1 | a2) -> (hp1 | hp2) when a1!=""
+    # phi5: venue key (type, btitle, year) fixes A.
+    rule phi5a: (type, btitle, year | type, btitle, year) -> (isbn | isbn) when type=inproceedings
+    rule phi5b: (type, btitle, year | type, btitle, year) -> (publisher | publisher) when type=inproceedings
+    rule phi5c: (type, btitle, year | type, btitle, year) -> (crossref | crossref) when type=inproceedings
+    # phi6: crossref foreign key fixes B.
+    rule phi6a: (type, crossref | type, crossref) -> (btitle | btitle) when type=inproceedings
+    rule phi6b: (type, crossref | type, crossref) -> (year | year) when type=inproceedings
+    rule phi6c: (type, crossref | type, crossref) -> (isbn | isbn) when type=inproceedings
+    rule phi6d: (type, crossref | type, crossref) -> (publisher | publisher) when type=inproceedings
+    # phi7: the full paper key fixes C.
+    rule phi7a: (type, a1, a2, ptitle, pages | type, a1, a2, ptitle, pages) -> (isbn | isbn) when type=inproceedings
+    rule phi7b: (type, a1, a2, ptitle, pages | type, a1, a2, ptitle, pages) -> (publisher | publisher) when type=inproceedings
+    rule phi7c: (type, a1, a2, ptitle, pages | type, a1, a2, ptitle, pages) -> (year | year) when type=inproceedings
+    rule phi7d: (type, a1, a2, ptitle, pages | type, a1, a2, ptitle, pages) -> (btitle | btitle) when type=inproceedings
+    rule phi7e: (type, a1, a2, ptitle, pages | type, a1, a2, ptitle, pages) -> (crossref | crossref) when type=inproceedings
+  )";
+  Result<RuleSet> rules = ParseRules(text, schema, schema);
+  assert(rules.ok());
+  return std::move(rules).ValueOrDie();
+}
+
+namespace {
+
+struct DblpEntities {
+  struct Author {
+    std::string name, homepage;
+  };
+  struct Venue {
+    std::string btitle, year, publisher, isbn, crossref;
+  };
+  std::vector<Author> authors;
+  std::vector<Venue> venues;
+};
+
+DblpEntities MakeEntities(size_t num_authors, size_t num_venues, Rng* rng,
+                          size_t offset) {
+  static const char* kPublishers[] = {"Springer", "ACM", "IEEE", "VLDB"};
+  static const char* kConfs[] = {"SIGMOD", "VLDB", "ICDE", "EDBT", "PODS"};
+  DblpEntities e;
+  e.authors.reserve(num_authors);
+  for (size_t raw = 0; raw < num_authors; ++raw) {
+    size_t i = raw + offset;
+    DblpEntities::Author a;
+    a.name = "Author " + rng->AlphaString(4) + std::to_string(i);
+    a.homepage = "http://people.example.org/~u" + std::to_string(i);
+    e.authors.push_back(std::move(a));
+  }
+  // Venues form a SHARED vocabulary (no offset): a never-seen paper may
+  // still appear at a master-known conference, so the venue rules
+  // (phi5/phi6) can fire for non-duplicate inputs. Every venue fact is a
+  // deterministic function of the venue index, keeping cross-pool joins
+  // consistent.
+  e.venues.reserve(num_venues);
+  for (size_t i = 0; i < num_venues; ++i) {
+    DblpEntities::Venue v;
+    size_t conf = i % (sizeof(kConfs) / sizeof(kConfs[0]));
+    std::string year = std::to_string(1995 + (i / 5) % 16);
+    v.btitle = std::string(kConfs[conf]) + " " + year;
+    v.year = year;
+    v.publisher = kPublishers[conf % 4];
+    v.isbn = "978-" + std::to_string(100000 + i * 7);
+    v.crossref = "conf/" + std::string(kConfs[conf]) + "/" + year;
+    e.venues.push_back(std::move(v));
+  }
+  return e;
+}
+
+}  // namespace
+
+Relation DblpWorkload::MakeMaster(const SchemaPtr& schema, size_t size,
+                                  Rng* rng, size_t entity_offset) {
+  size_t num_venues = std::max<size_t>(5, std::min<size_t>(60, size / 40));
+  size_t num_authors = std::max<size_t>(8, size / 3);
+  DblpEntities e = MakeEntities(num_authors, num_venues, rng, entity_offset);
+
+  Relation master(schema);
+  master.Reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    // Distinct (a1, a2, ptitle, pages) per row keeps phi7 functional; one
+    // venue per row keeps phi5/phi6 functional.
+    const auto& venue = e.venues[i % e.venues.size()];
+    const auto& a1 = e.authors[(i * 2) % e.authors.size()];
+    const auto& a2 = e.authors[(i * 2 + 1) % e.authors.size()];
+    std::string ptitle =
+        "On " + rng->AlphaString(6) + " " + std::to_string(i);
+    std::string pages = std::to_string(1 + (i * 13) % 500) + "-" +
+                        std::to_string(1 + (i * 13) % 500 + 12);
+    Status st = master.AppendStrings({ptitle, a1.name, a2.name, a1.homepage,
+                                      a2.homepage, venue.btitle,
+                                      venue.publisher, venue.isbn,
+                                      venue.crossref, venue.year,
+                                      "inproceedings", pages});
+    assert(st.ok());
+    (void)st;
+  }
+  return master;
+}
+
+CfdSet DblpWorkload::MakeCfdsFromMaster(const SchemaPtr& schema,
+                                        const Relation& master,
+                                        size_t max_rows) {
+  struct FdSpec {
+    std::vector<std::string> x;
+    std::string b;
+  };
+  static const FdSpec kSpecs[] = {
+      {{"a1"}, "hp1"},
+      {{"a2"}, "hp2"},
+      {{"crossref"}, "btitle"},
+      {{"crossref"}, "year"},
+      {{"crossref"}, "publisher"},
+      {{"btitle", "year"}, "isbn"},
+  };
+  CfdSet cfds(schema);
+  for (const FdSpec& spec : kSpecs) {
+    Result<std::vector<AttrId>> x = schema->Resolve(spec.x);
+    Result<AttrId> b = schema->IndexOf(spec.b);
+    assert(x.ok() && b.ok());
+    std::set<std::string> seen;
+    size_t rows = 0;
+    for (const Tuple& tm : master) {
+      if (rows >= max_rows) break;
+      std::string key = ProjectKey(tm, *x);
+      if (!seen.insert(key).second) continue;
+      PatternTuple tp(schema);
+      for (AttrId a : *x) tp.SetConst(a, tm.at(a));
+      tp.SetConst(*b, tm.at(*b));
+      Result<Cfd> cfd = Cfd::Make(
+          "dblp_cfd_" + spec.b + "_" + std::to_string(rows), schema, *x, *b,
+          std::move(tp));
+      assert(cfd.ok());
+      Status st = cfds.Add(std::move(cfd).ValueOrDie());
+      assert(st.ok());
+      (void)st;
+      ++rows;
+    }
+  }
+  return cfds;
+}
+
+}  // namespace certfix

@@ -1,0 +1,205 @@
+#include "workload/hosp.h"
+
+#include <cassert>
+#include <set>
+
+#include "rules/rule_parser.h"
+
+namespace certfix {
+
+SchemaPtr HospWorkload::MakeSchema() {
+  return Schema::Make(
+      "HOSP", std::vector<std::string>{
+                  "zip", "ST", "phn", "mCode", "mName", "sAvg", "hName",
+                  "hType", "hOwner", "provider", "city", "emergency",
+                  "condition", "Score", "sample", "id", "addr1", "addr2",
+                  "addr3"});
+}
+
+RuleSet HospWorkload::MakeRules(const SchemaPtr& schema) {
+  // The five representative rules of Sect. 6 (phi1..phi5; the "(nil)"
+  // patterns in the paper's rendering are zip != nil, phn != nil) plus 16
+  // analogous rules filling out the 21-rule set.
+  const char* text = R"(
+    # Representative rules printed in the paper.
+    rule phi1:  (zip | zip) -> (ST | ST) when zip!=""
+    rule phi2:  (phn | phn) -> (zip | zip) when phn!=""
+    rule phi3:  (mCode, ST | mCode, ST) -> (sAvg | sAvg)
+    rule phi4:  (id, mCode | id, mCode) -> (Score | Score)
+    rule phi5:  (id | id) -> (hName | hName)
+    # Hospital facts from the id.
+    rule phi6:  (id | id) -> (phn | phn)
+    rule phi7:  (id | id) -> (city | city)
+    rule phi8:  (id | id) -> (hType | hType)
+    rule phi9:  (id | id) -> (hOwner | hOwner)
+    rule phi10: (id | id) -> (provider | provider)
+    rule phi11: (id | id) -> (emergency | emergency)
+    rule phi12: (id | id) -> (addr1 | addr1)
+    rule phi13: (id | id) -> (addr2 | addr2)
+    rule phi14: (id | id) -> (addr3 | addr3)
+    # Measure facts from the measure code.
+    rule phi15: (mCode | mCode) -> (mName | mName)
+    rule phi16: (mCode | mCode) -> (condition | condition)
+    rule phi17: (id, mCode | id, mCode) -> (sample | sample)
+    # Geographic redundancy.
+    rule phi18: (zip | zip) -> (city | city) when zip!=""
+    rule phi19: (phn | phn) -> (ST | ST) when phn!=""
+    # Recovering the id from alternate keys.
+    rule phi20: (hName, city | hName, city) -> (id | id)
+    rule phi21: (provider | provider) -> (id | id)
+  )";
+  Result<RuleSet> rules = ParseRules(text, schema, schema);
+  assert(rules.ok());
+  return std::move(rules).ValueOrDie();
+}
+
+namespace {
+
+// Deterministic entity pools keeping the master functionally consistent.
+struct HospEntities {
+  struct Hospital {
+    std::string id, zip, st, phn, name, type, owner, provider, city;
+    std::string emergency, addr1, addr2, addr3;
+  };
+  struct Measure {
+    std::string code, name, condition;
+  };
+  std::vector<Hospital> hospitals;
+  std::vector<Measure> measures;
+};
+
+HospEntities MakeEntities(size_t num_hospitals, size_t num_measures,
+                          Rng* rng, size_t offset) {
+  static const char* kStates[] = {"AL", "AK", "AZ", "CA", "CO", "FL",
+                                  "GA", "IL", "NY", "TX", "WA", "PA"};
+  static const char* kTypes[] = {"Acute Care", "Critical Access",
+                                 "Childrens"};
+  static const char* kOwners[] = {"Government", "Proprietary", "Voluntary"};
+  static const char* kConditions[] = {"Heart Attack", "Heart Failure",
+                                      "Pneumonia", "Surgical Infection"};
+  HospEntities e;
+  e.hospitals.reserve(num_hospitals);
+  for (size_t raw = 0; raw < num_hospitals; ++raw) {
+    // Entity facts (id, provider, phn, name, addresses) are disjoint
+    // across offset pools; geographic facts (zip -> ST/city) are derived
+    // from the zip VALUE, so any two hospitals with the same zip — in any
+    // pool — agree on state and city. This mirrors the real data: a
+    // never-seen hospital still lives in a known zip code.
+    size_t i = raw + offset;
+    size_t zip_num = 10000 + (i * 37) % 997;  // small shared zip space
+    HospEntities::Hospital h;
+    h.id = "H" + std::to_string(100000 + i);
+    h.zip = std::to_string(zip_num);
+    h.st = kStates[zip_num % (sizeof(kStates) / sizeof(kStates[0]))];
+    h.city = "City" + std::to_string((zip_num * 13) % 997);
+    h.phn = "555" + std::to_string(1000000 + i);
+    h.name = "Hospital " + rng->AlphaString(3) + std::to_string(i);
+    h.type = kTypes[i % 3];
+    h.owner = kOwners[(i / 3) % 3];
+    h.provider = "P" + std::to_string(500000 + i);
+    h.emergency = (i % 5 == 0) ? "No" : "Yes";
+    h.addr1 = std::to_string(100 + i % 899) + " " + rng->AlphaString(5) +
+              " St";
+    h.addr2 = (i % 4 == 0) ? "Suite " + std::to_string(1 + i % 40) : "-";
+    h.addr3 = "-";
+    e.hospitals.push_back(std::move(h));
+  }
+  // Measures form a SHARED vocabulary (no offset): measure codes and
+  // their names/conditions are the same universe for every pool.
+  e.measures.reserve(num_measures);
+  for (size_t i = 0; i < num_measures; ++i) {
+    HospEntities::Measure m;
+    m.code = "AMI-" + std::to_string(i + 1);
+    m.name = "Measure M" + std::to_string(i);
+    m.condition = kConditions[i % 4];
+    e.measures.push_back(std::move(m));
+  }
+  return e;
+}
+
+}  // namespace
+
+Relation HospWorkload::MakeMaster(const SchemaPtr& schema, size_t size,
+                                  Rng* rng, size_t entity_offset) {
+  // Row count = hospitals x measures (approximately `size`): pick measure
+  // count ~ 16 and derive hospitals.
+  size_t num_measures = std::max<size_t>(4, std::min<size_t>(16, size / 16));
+  size_t num_hospitals = std::max<size_t>(1, size / num_measures + 1);
+  HospEntities e = MakeEntities(num_hospitals, num_measures, rng, entity_offset);
+
+  // (mCode, ST) -> sAvg must be functional ACROSS pools too: derive it
+  // from the (code, state) strings.
+  auto savg = [&e](size_t measure_idx, const std::string& st) {
+    size_t h = std::hash<std::string>()(st) ^
+               (std::hash<std::string>()(e.measures[measure_idx].code) *
+                2654435761u);
+    return std::to_string(40 + h % 60) + "%";
+  };
+  // (id, mCode) -> Score / sample functional by construction (one row per
+  // pair).
+  Relation master(schema);
+  master.Reserve(size);
+  size_t made = 0;
+  for (size_t hi = 0; hi < e.hospitals.size() && made < size; ++hi) {
+    const auto& h = e.hospitals[hi];
+    for (size_t mi = 0; mi < e.measures.size() && made < size; ++mi) {
+      const auto& m = e.measures[mi];
+      std::string score =
+          std::to_string(30 + (hi * 7 + mi * 11) % 70) + "%";
+      std::string sample = std::to_string(50 + (hi * 3 + mi * 5) % 450) +
+                           " patients";
+      Status st = master.AppendStrings(
+          {h.zip, h.st, h.phn, m.code, m.name, savg(mi, h.st), h.name,
+           h.type, h.owner, h.provider, h.city, h.emergency, m.condition,
+           score, sample, h.id, h.addr1, h.addr2, h.addr3});
+      assert(st.ok());
+      (void)st;
+      ++made;
+    }
+  }
+  return master;
+}
+
+CfdSet HospWorkload::MakeCfdsFromMaster(const SchemaPtr& schema,
+                                        const Relation& master,
+                                        size_t max_rows) {
+  // Embedded FDs mirrored as constant-CFD tableaux from master rows:
+  // zip -> ST, zip -> city, id -> hName, mCode -> condition,
+  // (id, mCode) -> Score.
+  struct FdSpec {
+    std::vector<std::string> x;
+    std::string b;
+  };
+  static const FdSpec kSpecs[] = {
+      {{"zip"}, "ST"},          {{"zip"}, "city"},
+      {{"id"}, "hName"},        {{"id"}, "phn"},
+      {{"mCode"}, "condition"}, {{"id", "mCode"}, "Score"},
+  };
+  CfdSet cfds(schema);
+  for (const FdSpec& spec : kSpecs) {
+    Result<std::vector<AttrId>> x = schema->Resolve(spec.x);
+    Result<AttrId> b = schema->IndexOf(spec.b);
+    assert(x.ok() && b.ok());
+    std::set<std::string> seen;
+    size_t rows = 0;
+    for (const Tuple& tm : master) {
+      if (rows >= max_rows) break;
+      std::string key = ProjectKey(tm, *x);
+      if (!seen.insert(key).second) continue;
+      PatternTuple tp(schema);
+      for (AttrId a : *x) tp.SetConst(a, tm.at(a));
+      tp.SetConst(*b, tm.at(*b));
+      Result<Cfd> cfd = Cfd::Make(
+          "hosp_cfd_" + spec.b + "_" + std::to_string(rows), schema, *x, *b,
+          std::move(tp));
+      assert(cfd.ok());
+      Status st = cfds.Add(std::move(cfd).ValueOrDie());
+      assert(st.ok());
+      (void)st;
+      ++rows;
+    }
+  }
+  return cfds;
+}
+
+}  // namespace certfix

@@ -1,0 +1,54 @@
+/// \file hosp.h
+/// \brief Synthetic HOSP workload (Sect. 6): the 19-attribute schema of the
+/// joined Hospital-Compare tables, a consistent master-data generator, the
+/// 21 editing rules (the 5 representative rules printed in the paper plus
+/// 16 analogous ones), and master-derived CFDs for the IncRep baseline.
+///
+/// Substitution note (DESIGN.md 2.4): the real HOSP download is not
+/// available offline; the generator reproduces the functional structure
+/// the rules rely on (zip -> ST/city, phn -> zip, id -> hospital facts,
+/// mCode -> measure facts, (id,mCode) -> score/sample, (mCode,ST) -> sAvg)
+/// so every rule-firing code path behaves as with the real data.
+
+#ifndef CERTFIX_WORKLOAD_HOSP_H_
+#define CERTFIX_WORKLOAD_HOSP_H_
+
+#include "cfd/cfd.h"
+#include "relational/relation.h"
+#include "rules/rule_set.h"
+#include "util/random.h"
+
+namespace certfix {
+
+/// \brief HOSP workload factory.
+class HospWorkload {
+ public:
+  /// The 19-attribute schema shared by R and Rm (paper Sect. 6):
+  /// zip, ST, phn, mCode, mName, sAvg, hName, hType, hOwner, provider,
+  /// city, emergency, condition, Score, sample, id, addr1, addr2, addr3.
+  static SchemaPtr MakeSchema();
+
+  /// The 21 editing rules of the HOSP experiments.
+  static RuleSet MakeRules(const SchemaPtr& schema);
+
+  /// Consistent, complete master data with `size` rows: one row per
+  /// (hospital, measure) pair, functionally consistent across rows.
+  /// `entity_offset` shifts every entity key (hospital ids, providers,
+  /// phones, zips, measure codes) so that pools built with different
+  /// offsets are disjoint — used for the non-duplicate pool of the dirty
+  /// generator (the paper's d% semantics: an input tuple either matches a
+  /// master tuple or matches none).
+  static Relation MakeMaster(const SchemaPtr& schema, size_t size, Rng* rng,
+                             size_t entity_offset = 0);
+
+  /// Constant CFDs enumerated from master data for IncRep (e.g. one
+  /// "zip=Z -> ST=S" row per distinct master zip), capped at `max_rows`
+  /// rows per embedded FD. This gives IncRep the same rule knowledge the
+  /// eRs encode (DESIGN.md 2.3).
+  static CfdSet MakeCfdsFromMaster(const SchemaPtr& schema,
+                                   const Relation& master, size_t max_rows);
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_WORKLOAD_HOSP_H_

@@ -1,0 +1,50 @@
+#include "workload/metrics.h"
+
+namespace certfix {
+
+void MetricsAccumulator::Record(const Tuple& dirty, const Tuple& clean,
+                                const Tuple& result,
+                                const AttrSet& auto_changed) {
+  size_t errors = dirty.DiffCount(clean);
+  if (errors > 0) {
+    ++erroneous_tuples_;
+    if (result == clean) ++corrected_tuples_;
+  }
+  for (AttrId a = 0; a < dirty.size(); ++a) {
+    bool was_wrong = dirty.at(a) != clean.at(a);
+    if (was_wrong) ++erroneous_attrs_;
+    // "Changed" counts actual modifications: validating an attribute by
+    // rewriting its existing (correct) value is not a change.
+    if (auto_changed.Contains(a) && result.at(a) != dirty.at(a)) {
+      ++changed_attrs_;
+      if (was_wrong && result.at(a) == clean.at(a)) ++corrected_attrs_;
+    }
+  }
+}
+
+double MetricsAccumulator::recall_t() const {
+  if (erroneous_tuples_ == 0) return 1.0;
+  return static_cast<double>(corrected_tuples_) /
+         static_cast<double>(erroneous_tuples_);
+}
+
+double MetricsAccumulator::recall_a() const {
+  if (erroneous_attrs_ == 0) return 1.0;
+  return static_cast<double>(corrected_attrs_) /
+         static_cast<double>(erroneous_attrs_);
+}
+
+double MetricsAccumulator::precision_a() const {
+  if (changed_attrs_ == 0) return 1.0;
+  return static_cast<double>(corrected_attrs_) /
+         static_cast<double>(changed_attrs_);
+}
+
+double MetricsAccumulator::f_measure() const {
+  double r = recall_a();
+  double p = precision_a();
+  if (r + p == 0.0) return 0.0;
+  return 2.0 * r * p / (r + p);
+}
+
+}  // namespace certfix

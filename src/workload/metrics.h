@@ -1,0 +1,57 @@
+/// \file metrics.h
+/// \brief The Sect. 6 quality metrics: recall_t, recall_a, precision_a,
+/// F-measure.
+
+#ifndef CERTFIX_WORKLOAD_METRICS_H_
+#define CERTFIX_WORKLOAD_METRICS_H_
+
+#include <vector>
+
+#include "relational/attr_set.h"
+#include "relational/tuple.h"
+
+namespace certfix {
+
+/// \brief Accumulates attribute- and tuple-level counts across a batch of
+/// fixed tuples.
+///
+/// Definitions (Sect. 6):
+///   recall_t    = #corrected tuples / #erroneous tuples
+///   recall_a    = #corrected attributes / #erroneous attributes
+///   precision_a = #corrected attributes / #changed attributes
+///   F-measure   = 2 * recall_a * precision_a / (recall_a + precision_a)
+/// "Corrected attributes" never count user-supplied values; "corrected
+/// tuples" means the tuple is fully clean after the round (by any means).
+class MetricsAccumulator {
+ public:
+  /// Records one tuple's outcome.
+  /// `dirty`/`clean`: the entered tuple and the ground truth;
+  /// `result`: the tuple after fixing;
+  /// `auto_changed`: attributes modified by the rules (not the user).
+  void Record(const Tuple& dirty, const Tuple& clean, const Tuple& result,
+              const AttrSet& auto_changed);
+
+  double recall_t() const;
+  double recall_a() const;
+  double precision_a() const;
+  double f_measure() const;
+
+  size_t erroneous_tuples() const { return erroneous_tuples_; }
+  size_t corrected_tuples() const { return corrected_tuples_; }
+  size_t erroneous_attrs() const { return erroneous_attrs_; }
+  size_t corrected_attrs() const { return corrected_attrs_; }
+  size_t changed_attrs() const { return changed_attrs_; }
+
+  void Reset() { *this = MetricsAccumulator(); }
+
+ private:
+  size_t erroneous_tuples_ = 0;
+  size_t corrected_tuples_ = 0;
+  size_t erroneous_attrs_ = 0;
+  size_t corrected_attrs_ = 0;   // auto-corrected to the true value
+  size_t changed_attrs_ = 0;     // auto-changed (correctly or not)
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_WORKLOAD_METRICS_H_

@@ -1,0 +1,153 @@
+#include "core/applicable_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "core/transfix.h"
+#include "test_util.h"
+
+namespace certfix {
+namespace {
+
+using namespace testing_fixtures;
+
+class ApplicableRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = SupplierSchema();
+    rm_ = SupplierMasterSchema();
+    dm_ = SupplierMaster(rm_);
+    rules_ = SupplierRules(r_, rm_);
+    cache_ = std::make_unique<PartialMasterIndexCache>(dm_);
+  }
+
+  // Find a derived rule by its origin index; -1 when absent.
+  int FindByOrigin(const ApplicableRules& applicable, size_t origin) {
+    for (size_t i = 0; i < applicable.origin.size(); ++i) {
+      if (applicable.origin[i] == origin) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  SchemaPtr r_;
+  SchemaPtr rm_;
+  Relation dm_;
+  RuleSet rules_;
+  std::unique_ptr<PartialMasterIndexCache> cache_;
+};
+
+TEST_F(ApplicableRulesTest, Example14Shape) {
+  // Example 14: after fixing t1 with Z = {zip, AC, str, city}, the
+  // applicable rules include phi4, phi5; phi1-3 drop out (their rhs is
+  // validated) and phi9 drops out (no master tuple has AC = 0800, and
+  // t1[AC] = 131 mismatches the pattern anyway). The paper's example also
+  // lists refined phi6+..phi8+, but their rhs attributes are in Z and so
+  // can never fire under the region semantics (targets are protected);
+  // condition (a) of Sect. 5.2 excludes them here, which is equivalent by
+  // Prop. 20.
+  Tuple t1 = T1(r_);
+  t1.Set(A(r_, "AC"), Value::Str("131"));
+  t1.Set(A(r_, "str"), Value::Str("51 Elm Row"));
+  AttrSet z = Attrs(r_, {"zip", "AC", "str", "city"});
+
+  ApplicableRules applicable =
+      DeriveApplicableRules(rules_, dm_, cache_.get(), t1, z);
+
+  // phi1, phi2, phi3, phi6-8 (rhs in Z) and phi9 are excluded.
+  for (size_t origin : {0u, 1u, 2u, 5u, 6u, 7u, 8u}) {
+    EXPECT_EQ(FindByOrigin(applicable, origin), -1) << "phi" << origin + 1;
+  }
+  // phi4, phi5 survive (their premises are outside Z).
+  EXPECT_GE(FindByOrigin(applicable, 3), 0);
+  EXPECT_GE(FindByOrigin(applicable, 4), 0);
+  EXPECT_EQ(applicable.rules.size(), 2u);
+}
+
+TEST_F(ApplicableRulesTest, RefinementPinsValidatedLhsValue) {
+  // The Example 14 refinement effect (tp[AC]: !=0800 becomes the constant
+  // 131) observed on phi6+ with a smaller validated set that keeps its rhs
+  // (str) outside Z.
+  Tuple t1 = T1(r_);
+  t1.Set(A(r_, "AC"), Value::Str("131"));
+  t1.Set(A(r_, "type"), Value::Str("1"));
+  t1.Set(A(r_, "phn"), Value::Str("6884563"));
+  AttrSet z = Attrs(r_, {"AC", "type", "phn"});
+  ApplicableRules applicable =
+      DeriveApplicableRules(rules_, dm_, cache_.get(), t1, z);
+  int phi6_plus = FindByOrigin(applicable, 5);
+  ASSERT_GE(phi6_plus, 0);
+  const EditingRule& refined =
+      applicable.rules.at(static_cast<size_t>(phi6_plus));
+  PatternValue ac_cell = refined.pattern().Get(A(r_, "AC"));
+  EXPECT_TRUE(ac_cell.is_const());
+  EXPECT_EQ(ac_cell.value().as_string(), "131");
+  PatternValue phn_cell = refined.pattern().Get(A(r_, "phn"));
+  EXPECT_TRUE(phn_cell.is_const());
+  EXPECT_EQ(phn_cell.value().as_string(), "6884563");
+}
+
+TEST_F(ApplicableRulesTest, MasterAvailabilityFilters) {
+  // With a validated zip that matches no master tuple, phi1-3 cannot fire
+  // and are excluded by condition (c).
+  Tuple t = T1(r_);
+  t.Set(A(r_, "zip"), Value::Str("ZZ9 9ZZ"));
+  AttrSet z = Attrs(r_, {"zip"});
+  ApplicableRules applicable =
+      DeriveApplicableRules(rules_, dm_, cache_.get(), t, z);
+  EXPECT_EQ(FindByOrigin(applicable, 0), -1);
+  EXPECT_EQ(FindByOrigin(applicable, 1), -1);
+  EXPECT_EQ(FindByOrigin(applicable, 2), -1);
+  // phi4-9 have no validated lhs intersection; they stay.
+  EXPECT_GE(FindByOrigin(applicable, 3), 0);
+}
+
+TEST_F(ApplicableRulesTest, ValidatedPatternMismatchExcludes) {
+  // t[type] = 1 validated: phi4/phi5 (pattern type = 2) are excluded.
+  Tuple t = T1(r_);
+  t.Set(A(r_, "type"), Value::Str("1"));
+  AttrSet z = Attrs(r_, {"type"});
+  ApplicableRules applicable =
+      DeriveApplicableRules(rules_, dm_, cache_.get(), t, z);
+  EXPECT_EQ(FindByOrigin(applicable, 3), -1);
+  EXPECT_EQ(FindByOrigin(applicable, 4), -1);
+  // phi6-8 (pattern type = 1) survive.
+  EXPECT_GE(FindByOrigin(applicable, 5), 0);
+}
+
+TEST_F(ApplicableRulesTest, EmptyZKeepsRulesWithMasterSupport) {
+  Tuple t1 = T1(r_);
+  ApplicableRules applicable =
+      DeriveApplicableRules(rules_, dm_, cache_.get(), t1, AttrSet());
+  // Nothing validated: conditions (a)-(c) reduce to master existence on
+  // the pattern side. phi9 (pattern AC = 0800 with AC in X) is excluded —
+  // no master tuple has AC 0800 — all other rules survive.
+  EXPECT_EQ(applicable.rules.size(), rules_.size() - 1);
+  EXPECT_EQ(FindByOrigin(applicable, 8), -1);
+}
+
+TEST_F(ApplicableRulesTest, RefinedPatternPinsValidatedValues) {
+  Tuple t1 = T1(r_);
+  AttrSet z = Attrs(r_, {"type"});
+  ApplicableRules applicable =
+      DeriveApplicableRules(rules_, dm_, cache_.get(), t1, z);
+  // phi4's type cell is refined from const 2 to the (equal) validated
+  // value 2; still a constant.
+  int phi4_plus = FindByOrigin(applicable, 3);
+  ASSERT_GE(phi4_plus, 0);
+  PatternValue cell =
+      applicable.rules.at(static_cast<size_t>(phi4_plus)).pattern().Get(
+          A(r_, "type"));
+  EXPECT_TRUE(cell.is_const());
+  EXPECT_EQ(cell.value().as_string(), "2");
+}
+
+TEST_F(ApplicableRulesTest, PartialIndexCacheReuse) {
+  Tuple t1 = T1(r_);
+  AttrSet z = Attrs(r_, {"zip"});
+  DeriveApplicableRules(rules_, dm_, cache_.get(), t1, z);
+  size_t after_first = cache_->num_indexes();
+  DeriveApplicableRules(rules_, dm_, cache_.get(), t1, z);
+  EXPECT_EQ(cache_->num_indexes(), after_first);  // no index rebuilt
+}
+
+}  // namespace
+}  // namespace certfix

@@ -1,0 +1,121 @@
+#include "core/batch_repair.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/dirty_gen.h"
+#include "workload/hosp.h"
+
+namespace certfix {
+namespace {
+
+using namespace testing_fixtures;
+
+class BatchRepairSupplierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = SupplierSchema();
+    rm_ = SupplierMasterSchema();
+    dm_ = SupplierMaster(rm_);
+    rules_ = SupplierRules(r_, rm_);
+    index_ = std::make_unique<MasterIndex>(rules_, dm_);
+    sat_ = std::make_unique<Saturator>(rules_, dm_, *index_);
+  }
+
+  SchemaPtr r_;
+  SchemaPtr rm_;
+  Relation dm_;
+  RuleSet rules_;
+  std::unique_ptr<MasterIndex> index_;
+  std::unique_ptr<Saturator> sat_;
+};
+
+TEST_F(BatchRepairSupplierTest, RepairsTrustedKeyTuples) {
+  Relation data(r_);
+  ASSERT_TRUE(data.Append(T1(r_)).ok());  // fixable via zip/phn/type
+  ASSERT_TRUE(data.Append(T4(r_)).ok());  // untouchable (no master match)
+
+  BatchRepair repair(*sat_);
+  BatchRepairResult result =
+      repair.Repair(data, Attrs(r_, {"zip", "phn", "type", "item"}));
+  EXPECT_EQ(result.tuples_fully_covered, 1u);
+  EXPECT_EQ(result.tuples_untouched, 1u);
+  EXPECT_EQ(result.tuples_conflicting, 0u);
+  EXPECT_EQ(result.repaired.at(0), T1Truth(r_));
+  EXPECT_EQ(result.repaired.at(1), T4(r_));
+  EXPECT_EQ(result.cells_changed, 3u);  // fn, AC, str of t1
+}
+
+TEST_F(BatchRepairSupplierTest, ConflictingTupleLeftAlone) {
+  Relation data(r_);
+  ASSERT_TRUE(data.Append(T3(r_)).ok());  // AC/zip conflict (Example 5)
+  BatchRepair repair(*sat_);
+  BatchRepairResult result =
+      repair.Repair(data, Attrs(r_, {"AC", "phn", "type", "zip"}));
+  EXPECT_EQ(result.tuples_conflicting, 1u);
+  EXPECT_EQ(result.conflict_rows, std::vector<size_t>{0});
+  EXPECT_EQ(result.repaired.at(0), T3(r_));
+  EXPECT_EQ(result.cells_changed, 0u);
+}
+
+TEST_F(BatchRepairSupplierTest, PartialCoverageCounted) {
+  Relation data(r_);
+  ASSERT_TRUE(data.Append(T1(r_)).ok());
+  BatchRepair repair(*sat_);
+  // Only zip trusted: AC/str/city get fixed, fn/ln/phn/type/item do not.
+  BatchRepairResult result = repair.Repair(data, Attrs(r_, {"zip"}));
+  EXPECT_EQ(result.tuples_partial, 1u);
+  EXPECT_EQ(result.repaired.at(0).at(A(r_, "AC")).as_string(), "131");
+  EXPECT_EQ(result.repaired.at(0).at(A(r_, "fn")).as_string(), "Bob");
+}
+
+TEST(BatchRepairHospTest, RestoresDuplicatesAtScale) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  RuleSet rules = HospWorkload::MakeRules(schema);
+  Rng rng(9);
+  Relation master = HospWorkload::MakeMaster(schema, 400, &rng);
+  MasterIndex index(rules, master);
+  Saturator sat(rules, master, index);
+
+  // Corrupt everything except the trusted keys on 100 master-drawn rows.
+  AttrSet trusted;
+  trusted.Add(*schema->IndexOf("id"));
+  trusted.Add(*schema->IndexOf("mCode"));
+  DirtyGenOptions gen_options;
+  gen_options.duplicate_rate = 1.0;
+  gen_options.noise_rate = 0.4;
+  gen_options.protected_attrs = trusted;
+  gen_options.seed = 12;
+  DirtyGenerator gen(master, master, gen_options);
+
+  Relation dirty(schema);
+  std::vector<Tuple> truths;
+  for (const DirtyPair& pair : gen.Generate(100)) {
+    ASSERT_TRUE(dirty.Append(pair.dirty).ok());
+    truths.push_back(pair.clean);
+  }
+
+  BatchRepair repair(sat);
+  BatchRepairResult result = repair.Repair(dirty, trusted);
+  EXPECT_EQ(result.tuples_conflicting, 0u);
+  EXPECT_EQ(result.tuples_fully_covered, 100u);
+  for (size_t i = 0; i < truths.size(); ++i) {
+    EXPECT_EQ(result.repaired.at(i), truths[i]) << "row " << i;
+  }
+}
+
+TEST(BatchRepairHospTest, EmptyRelation) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  RuleSet rules = HospWorkload::MakeRules(schema);
+  Rng rng(9);
+  Relation master = HospWorkload::MakeMaster(schema, 50, &rng);
+  MasterIndex index(rules, master);
+  Saturator sat(rules, master, index);
+  BatchRepair repair(sat);
+  BatchRepairResult result = repair.Repair(Relation(schema), AttrSet{0});
+  EXPECT_EQ(result.cells_changed, 0u);
+  EXPECT_TRUE(result.repaired.empty());
+}
+
+}  // namespace
+}  // namespace certfix

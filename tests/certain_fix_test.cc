@@ -1,0 +1,152 @@
+#include "core/certain_fix.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace certfix {
+namespace {
+
+using namespace testing_fixtures;
+
+class CertainFixEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = SupplierSchema();
+    rm_ = SupplierMasterSchema();
+    dm_ = SupplierMaster(rm_);
+  }
+
+  CertainFixEngine MakeEngine(bool use_cache = true) {
+    CertainFixOptions options;
+    options.use_cache = use_cache;
+    options.region.trials = 16;
+    return CertainFixEngine(SupplierRules(r_, rm_), dm_, options);
+  }
+
+  SchemaPtr r_;
+  SchemaPtr rm_;
+  Relation dm_;
+};
+
+TEST_F(CertainFixEngineTest, PrecomputesNonEmptyRegions) {
+  CertainFixEngine engine = MakeEngine();
+  ASSERT_FALSE(engine.regions().empty());
+  const RankedRegion& best = engine.initial_region();
+  EXPECT_FALSE(best.region.tableau().empty());
+  // Best region: the 4-attribute {phn, type, zip, item} (or equivalent).
+  EXPECT_LE(best.region.z().size(), 5u);
+}
+
+TEST_F(CertainFixEngineTest, FixesT1InOneRound) {
+  CertainFixEngine engine = MakeEngine();
+  GroundTruthUser user(T1Truth(r_));
+  FixOutcome outcome = engine.Fix(T1(r_), &user);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_FALSE(outcome.conflict);
+  EXPECT_EQ(outcome.fixed, T1Truth(r_));
+  EXPECT_EQ(outcome.num_rounds(), 1u);
+  // fn, AC, str were dirty and rule-fixed; ln/city were already right.
+  EXPECT_TRUE(outcome.auto_fixed.Contains(A(r_, "fn")));
+  EXPECT_TRUE(outcome.auto_fixed.Contains(A(r_, "AC")));
+  EXPECT_TRUE(outcome.auto_fixed.Contains(A(r_, "str")));
+}
+
+TEST_F(CertainFixEngineTest, EnrichesT2MissingValues) {
+  // t2 has null str/zip; its ground truth is s2's supplier view.
+  Result<Tuple> truth = Tuple::FromStrings(
+      r_, {"Mark", "Smith", "020", "6884563", "1", "20 Baker St.", "Lnd",
+           "NW1 6XE", "Books"});
+  ASSERT_TRUE(truth.ok());
+  CertainFixEngine engine = MakeEngine();
+  GroundTruthUser user(*truth);
+  FixOutcome outcome = engine.Fix(T2(r_), &user);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.fixed, *truth);
+  // The engine must have *enriched* (not user-supplied) str and zip...
+  // unless the initial region included them; at minimum they are correct.
+  EXPECT_EQ(outcome.fixed.at(A(r_, "zip")).as_string(), "NW1 6XE");
+}
+
+TEST_F(CertainFixEngineTest, UnmatchableTupleFallsBackToUser) {
+  // t4 matches no master tuple: the engine must still terminate with a
+  // complete (user-backed) validation.
+  Tuple t4 = T4(r_);
+  CertainFixEngine engine = MakeEngine();
+  GroundTruthUser user(t4);  // t4 is its own truth
+  FixOutcome outcome = engine.Fix(t4, &user);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.fixed, t4);
+  EXPECT_TRUE(outcome.auto_fixed.Empty());
+  EXPECT_EQ(outcome.user_asserted, r_->AllAttrs());
+}
+
+TEST_F(CertainFixEngineTest, EveryRoundSuggestsDisjointFromValidated) {
+  CertainFixEngine engine = MakeEngine();
+  GroundTruthUser user(T1Truth(r_));
+  FixOutcome outcome = engine.Fix(T3(r_), &user);
+  AttrSet seen;
+  for (const RoundRecord& round : outcome.rounds) {
+    EXPECT_FALSE(round.asserted.Intersects(seen.Minus(round.asserted)));
+    seen = seen.Union(round.asserted);
+  }
+}
+
+TEST_F(CertainFixEngineTest, CacheServesRepeatedTuples) {
+  CertainFixEngine engine = MakeEngine(/*use_cache=*/true);
+  // A tuple stream where round 2+ suggestions repeat: t2-like tuples.
+  Result<Tuple> truth = Tuple::FromStrings(
+      r_, {"Mark", "Smith", "020", "6884563", "1", "20 Baker St.", "Lnd",
+           "NW1 6XE", "Books"});
+  ASSERT_TRUE(truth.ok());
+  for (int i = 0; i < 5; ++i) {
+    GroundTruthUser user(*truth);
+    engine.Fix(T2(r_), &user);
+  }
+  const SuggestionCache::Stats& stats = engine.cache_stats();
+  // After warmup, lookups hit.
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  if (stats.misses > 0) {
+    EXPECT_GE(stats.hits, stats.misses - 1);
+  }
+}
+
+TEST_F(CertainFixEngineTest, NoCacheModeAlsoCompletes) {
+  CertainFixEngine engine = MakeEngine(/*use_cache=*/false);
+  GroundTruthUser user(T1Truth(r_));
+  FixOutcome outcome = engine.Fix(T1(r_), &user);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.fixed, T1Truth(r_));
+  EXPECT_EQ(engine.cache_stats().hits + engine.cache_stats().misses, 0u);
+}
+
+TEST_F(CertainFixEngineTest, ReluctantUserTakesMoreRounds) {
+  CertainFixEngine engine = MakeEngine();
+  ReluctantUser user(T1Truth(r_), /*cap=*/1);
+  FixOutcome outcome = engine.Fix(T1(r_), &user);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.fixed, T1Truth(r_));
+  EXPECT_GT(outcome.num_rounds(), 1u);
+}
+
+TEST_F(CertainFixEngineTest, InitialPickSelectsRegion) {
+  CertainFixEngine engine = MakeEngine();
+  if (engine.regions().size() > 1) {
+    engine.set_initial_pick(engine.regions().size() / 2);
+    GroundTruthUser user(T1Truth(r_));
+    FixOutcome outcome = engine.Fix(T1(r_), &user);
+    EXPECT_TRUE(outcome.completed);
+    EXPECT_EQ(outcome.fixed, T1Truth(r_));
+  }
+}
+
+TEST_F(CertainFixEngineTest, RoundRecordsCarrySnapshots) {
+  CertainFixEngine engine = MakeEngine();
+  GroundTruthUser user(T1Truth(r_));
+  FixOutcome outcome = engine.Fix(T1(r_), &user);
+  ASSERT_FALSE(outcome.rounds.empty());
+  EXPECT_EQ(outcome.rounds.back().after, outcome.fixed);
+}
+
+}  // namespace
+}  // namespace certfix

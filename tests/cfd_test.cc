@@ -1,0 +1,142 @@
+#include "cfd/cfd.h"
+
+#include <gtest/gtest.h>
+
+#include "cfd/violation.h"
+
+namespace certfix {
+namespace {
+
+SchemaPtr S() {
+  return Schema::Make(
+      "R", std::vector<std::string>{"AC", "city", "zip", "name"});
+}
+
+// The motivating CFDs of Example 1: AC = 020 -> city = Ldn; AC = 131 ->
+// city = Edi.
+Cfd Cfd020(const SchemaPtr& s) {
+  PatternTuple tp(s);
+  tp.SetConst(0, Value::Str("020"));
+  tp.SetConst(1, Value::Str("Ldn"));
+  return std::move(Cfd::Make("ac020", s, {0}, 1, std::move(tp))).ValueOrDie();
+}
+
+Cfd VarCfd(const SchemaPtr& s) {
+  // zip -> city with wildcard pattern: a plain FD as a variable CFD.
+  PatternTuple tp(s);
+  tp.SetWildcard(2);
+  tp.SetWildcard(1);
+  return std::move(Cfd::Make("zipcity", s, {2}, 1, std::move(tp)))
+      .ValueOrDie();
+}
+
+Tuple T(const SchemaPtr& s, const std::vector<std::string>& f) {
+  return std::move(Tuple::FromStrings(s, f)).ValueOrDie();
+}
+
+TEST(CfdTest, ConstructionValidation) {
+  SchemaPtr s = S();
+  // B in X rejected.
+  PatternTuple tp(s);
+  EXPECT_FALSE(Cfd::Make("bad", s, {1}, 1, tp).ok());
+  // Pattern outside X + B rejected.
+  PatternTuple tp2(s);
+  tp2.SetConst(3, Value::Str("x"));
+  EXPECT_FALSE(Cfd::Make("bad2", s, {0}, 1, std::move(tp2)).ok());
+  // By-name resolution.
+  Result<Cfd> ok = Cfd::MakeByName("ok", s, {"AC"}, "city", PatternTuple(s));
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(CfdTest, ConstantClassification) {
+  SchemaPtr s = S();
+  EXPECT_TRUE(Cfd020(s).IsConstant());
+  EXPECT_FALSE(VarCfd(s).IsConstant());
+}
+
+TEST(CfdTest, SingleTupleViolation) {
+  SchemaPtr s = S();
+  Cfd cfd = Cfd020(s);
+  // Example 1: t1 with AC = 020 but city = Edi violates the constant CFD.
+  EXPECT_TRUE(cfd.ViolatedBy(T(s, {"020", "Edi", "z", "n"})));
+  EXPECT_FALSE(cfd.ViolatedBy(T(s, {"020", "Ldn", "z", "n"})));
+  EXPECT_FALSE(cfd.ViolatedBy(T(s, {"131", "Edi", "z", "n"})));  // no match
+}
+
+TEST(CfdTest, PairViolationVariable) {
+  SchemaPtr s = S();
+  Cfd cfd = VarCfd(s);
+  Tuple a = T(s, {"020", "Ldn", "NW1", "n1"});
+  Tuple b = T(s, {"020", "Edi", "NW1", "n2"});
+  Tuple c = T(s, {"020", "Ldn", "EH7", "n3"});
+  EXPECT_TRUE(cfd.ViolatedBy(a, b));   // same zip, different city
+  EXPECT_FALSE(cfd.ViolatedBy(a, c));  // different zip
+  EXPECT_FALSE(cfd.ViolatedBy(a, a));
+}
+
+TEST(CfdTest, PairViolationWithConstantRhs) {
+  SchemaPtr s = S();
+  Cfd cfd = Cfd020(s);
+  Tuple a = T(s, {"020", "Ldn", "z", "n"});
+  Tuple b = T(s, {"020", "Edi", "z", "n"});
+  EXPECT_TRUE(cfd.ViolatedBy(a, b));  // b deviates from the constant
+}
+
+TEST(ViolationTest, DetectConstant) {
+  SchemaPtr s = S();
+  CfdSet cfds(s);
+  ASSERT_TRUE(cfds.Add(Cfd020(s)).ok());
+  Relation rel(s);
+  ASSERT_TRUE(rel.AppendStrings({"020", "Edi", "z1", "a"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"020", "Ldn", "z2", "b"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"131", "Edi", "z3", "c"}).ok());
+  std::vector<Violation> v = DetectViolations(cfds, rel);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].tuple_a, 0u);
+  EXPECT_EQ(v[0].tuple_b, -1);
+  EXPECT_EQ(v[0].attr, 1u);
+}
+
+TEST(ViolationTest, DetectVariablePairs) {
+  SchemaPtr s = S();
+  CfdSet cfds(s);
+  ASSERT_TRUE(cfds.Add(VarCfd(s)).ok());
+  Relation rel(s);
+  ASSERT_TRUE(rel.AppendStrings({"020", "Ldn", "NW1", "a"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"020", "Edi", "NW1", "b"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"131", "Edi", "EH7", "c"}).ok());
+  std::vector<Violation> v = DetectViolations(cfds, rel);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].tuple_a, 0u);
+  EXPECT_EQ(v[0].tuple_b, 1);
+}
+
+TEST(ViolationTest, CleanRelationHasNone) {
+  SchemaPtr s = S();
+  CfdSet cfds(s);
+  ASSERT_TRUE(cfds.Add(Cfd020(s)).ok());
+  ASSERT_TRUE(cfds.Add(VarCfd(s)).ok());
+  Relation rel(s);
+  ASSERT_TRUE(rel.AppendStrings({"020", "Ldn", "NW1", "a"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"131", "Edi", "EH7", "b"}).ok());
+  EXPECT_EQ(CountViolations(cfds, rel), 0u);
+}
+
+TEST(ViolationTest, GroupsOnlyWithinPatternMatches) {
+  SchemaPtr s = S();
+  // Variable CFD with a constant lhs pattern: AC = 020 & zip -> city.
+  PatternTuple tp(s);
+  tp.SetConst(0, Value::Str("020"));
+  Result<Cfd> cfd = Cfd::Make("gated", s, {0, 2}, 1, std::move(tp));
+  ASSERT_TRUE(cfd.ok());
+  CfdSet cfds(s);
+  ASSERT_TRUE(cfds.Add(std::move(cfd).ValueOrDie()).ok());
+  Relation rel(s);
+  // Same zip but AC 131: outside the pattern, no violation.
+  ASSERT_TRUE(rel.AppendStrings({"131", "Ldn", "NW1", "a"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"131", "Edi", "NW1", "b"}).ok());
+  EXPECT_EQ(CountViolations(cfds, rel), 0u);
+}
+
+}  // namespace
+}  // namespace certfix

@@ -1,0 +1,153 @@
+#include "tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "relational/csv.h"
+
+namespace certfix {
+namespace {
+
+// Writes CSV fixtures under the gtest temp dir and returns their paths.
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    master_path_ = dir_ + "/master.csv";
+    rules_path_ = dir_ + "/rules.txt";
+    input_path_ = dir_ + "/input.csv";
+    output_path_ = dir_ + "/out.csv";
+
+    std::ofstream master(master_path_);
+    master << "zip,AC,city,name\n"
+              "EH7,131,Edi,Ann\n"
+              "EH7,131,Edi,Bob\n"
+              "NW1,020,Lnd,Cid\n"
+              "G11,041,Gla,Dee\n";
+    master.close();
+
+    std::ofstream rules(rules_path_);
+    rules << "rule r1*: (zip | zip) -> (AC, city | AC, city)\n";
+    rules.close();
+
+    std::ofstream input(input_path_);
+    input << "zip,AC,city,name\n"
+             "EH7,999,WRONG,Eve\n"   // fixable from zip
+             "ZZZ,000,None,Fay\n";   // matches no master
+    input.close();
+  }
+
+  int Run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return RunCli(args, out_, err_);
+  }
+
+  std::string dir_, master_path_, rules_path_, input_path_, output_path_;
+  std::ostringstream out_, err_;
+};
+
+TEST_F(CliTest, NoCommandFails) {
+  EXPECT_EQ(Run({}), 1);
+  EXPECT_NE(err_.str().find("usage"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_EQ(Run({"frobnicate"}), 1);
+}
+
+TEST_F(CliTest, MissingFlagValueFails) {
+  EXPECT_EQ(Run({"mine", "--master"}), 1);
+}
+
+TEST_F(CliTest, MineEmitsParseableRules) {
+  ASSERT_EQ(Run({"mine", "--master", master_path_, "--no-conditional"}), 0)
+      << err_.str();
+  std::string text = out_.str();
+  EXPECT_NE(text.find("rule mined"), std::string::npos);
+  // zip -> AC and zip -> city must be found.
+  EXPECT_NE(text.find("(zip | zip) -> (AC | AC)"), std::string::npos);
+  EXPECT_NE(text.find("(zip | zip) -> (city | city)"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeReportsRegions) {
+  ASSERT_EQ(Run({"analyze", "--master", master_path_, "--rules",
+                 rules_path_}),
+            0)
+      << err_.str();
+  std::string text = out_.str();
+  EXPECT_NE(text.find("CompCRegion Z:"), std::string::npos);
+  EXPECT_NE(text.find("digraph"), std::string::npos);
+  // zip and name can only be certified by the user.
+  EXPECT_NE(text.find("zip"), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckAcceptsGoodRegion) {
+  ASSERT_EQ(Run({"check", "--master", master_path_, "--rules", rules_path_,
+                 "--region", "zip,name"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("certain region: yes"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckRejectsBadRegion) {
+  // {zip} alone cannot cover name.
+  EXPECT_EQ(Run({"check", "--master", master_path_, "--rules", rules_path_,
+                 "--region", "zip"}),
+            2);
+}
+
+TEST_F(CliTest, CheckUnknownAttributeFails) {
+  EXPECT_EQ(Run({"check", "--master", master_path_, "--rules", rules_path_,
+                 "--region", "nope"}),
+            2);
+}
+
+TEST_F(CliTest, RepairFixesAndWritesOutput) {
+  ASSERT_EQ(Run({"repair", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--trusted",
+                 "zip,name", "--output", output_path_}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("cells changed: 2"), std::string::npos);
+
+  Result<Relation> repaired =
+      ReadCsvFileInferSchema("Out", output_path_);
+  ASSERT_TRUE(repaired.ok());
+  // Row 0 fixed from master; row 1 untouched.
+  EXPECT_EQ(repaired->at(0).at(1).as_string(), "131");
+  EXPECT_EQ(repaired->at(0).at(2).as_string(), "Edi");
+  EXPECT_EQ(repaired->at(1).at(1).as_string(), "000");
+}
+
+TEST_F(CliTest, RepairMissingFlagsFail) {
+  EXPECT_EQ(Run({"repair", "--master", master_path_, "--rules",
+                 rules_path_}),
+            1);
+}
+
+TEST_F(CliTest, MissingFilesReported) {
+  EXPECT_EQ(Run({"mine", "--master", dir_ + "/nope.csv"}), 2);
+  EXPECT_EQ(Run({"analyze", "--master", master_path_, "--rules",
+                 dir_ + "/nope.rules"}),
+            2);
+}
+
+TEST_F(CliTest, MinedRulesRoundTripThroughParser) {
+  ASSERT_EQ(Run({"mine", "--master", master_path_}), 0) << err_.str();
+  // Feed the mined DSL back through the repair path via a fresh file.
+  std::string mined_path = dir_ + "/mined.rules";
+  std::ofstream mined(mined_path);
+  mined << out_.str();
+  mined.close();
+  EXPECT_EQ(Run({"repair", "--master", master_path_, "--rules", mined_path,
+                 "--input", input_path_, "--trusted", "zip,name"}),
+            0)
+      << err_.str();
+}
+
+}  // namespace
+}  // namespace certfix

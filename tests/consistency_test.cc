@@ -1,0 +1,205 @@
+#include "core/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/coverage.h"
+#include "test_util.h"
+
+namespace certfix {
+namespace {
+
+using namespace testing_fixtures;
+
+class ConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = SupplierSchema();
+    rm_ = SupplierMasterSchema();
+    dm_ = SupplierMaster(rm_);
+    rules_ = SupplierRules(r_, rm_);
+    index_ = std::make_unique<MasterIndex>(rules_, dm_);
+    sat_ = std::make_unique<Saturator>(rules_, dm_, *index_);
+  }
+
+  // Region over named attrs with one concrete row built from a tuple.
+  Region RegionFromTuple(const std::vector<std::string>& names,
+                         const Tuple& t) {
+    Region region = Region::Of(r_, Attrs(r_, names).ToVector());
+    PatternTuple row(r_);
+    for (const std::string& n : names) {
+      row.SetConst(A(r_, n), t.at(A(r_, n)));
+    }
+    Status st = region.AddRow(row);
+    EXPECT_TRUE(st.ok());
+    return region;
+  }
+
+  SchemaPtr r_;
+  SchemaPtr rm_;
+  Relation dm_;
+  RuleSet rules_;
+  std::unique_ptr<MasterIndex> index_;
+  std::unique_ptr<Saturator> sat_;
+};
+
+TEST_F(ConsistencyTest, ZahConsistentForT3) {
+  // Example 6/10: relative to (Z_AH, concrete row from t3), (Sigma0, Dm)
+  // is consistent (unique fix via s2).
+  ConsistencyChecker checker(*sat_);
+  Region region = RegionFromTuple({"AC", "phn", "type"}, T3(r_));
+  Result<bool> ok = checker.IsConsistent(region);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(ConsistencyTest, ZahzInconsistentForT3) {
+  // Example 10: adding zip makes (Sigma0, Dm) inconsistent relative to the
+  // region (conflicting city updates via s1 and s2).
+  ConsistencyChecker checker(*sat_);
+  Region region = RegionFromTuple({"AC", "phn", "type", "zip"}, T3(r_));
+  Result<bool> ok = checker.IsConsistent(region);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_FALSE(*ok);
+}
+
+TEST_F(ConsistencyTest, CheckRowReportsConflictAttr) {
+  ConsistencyChecker checker(*sat_);
+  Region region = RegionFromTuple({"AC", "phn", "type", "zip"}, T3(r_));
+  Result<ConsistencyReport> report =
+      checker.CheckRow(region, region.tableau().at(0));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->consistent);
+  EXPECT_FALSE(report->conflicts.empty());
+}
+
+TEST_F(ConsistencyTest, WildcardRowOnUnmentionedAttrIsCheap) {
+  // item is not mentioned in Sigma0; a wildcard there must not blow up the
+  // instantiation (single representative value suffices).
+  ConsistencyChecker checker(*sat_);
+  Region region =
+      Region::Of(r_, Attrs(r_, {"zip", "phn", "type", "item"}).ToVector());
+  PatternTuple row(r_);
+  Tuple t1 = T1(r_);
+  row.SetConst(A(r_, "zip"), t1.at(A(r_, "zip")));
+  row.SetConst(A(r_, "phn"), t1.at(A(r_, "phn")));
+  row.SetConst(A(r_, "type"), t1.at(A(r_, "type")));
+  ASSERT_TRUE(region.AddRow(row).ok());  // item stays wildcard
+  Result<bool> ok = checker.IsConsistent(region, /*max_instances=*/4);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(ConsistencyTest, WildcardOnMentionedAttrEnumerates) {
+  // A wildcard on zip (mentioned in Sigma0) forces active-domain
+  // enumeration; with Z = {zip} every zip in dom leads to a unique fix.
+  ConsistencyChecker checker(*sat_);
+  Region region = Region::Of(r_, Attrs(r_, {"zip"}).ToVector());
+  PatternTuple row(r_);
+  ASSERT_TRUE(region.AddRow(row).ok());
+  Result<bool> ok = checker.IsConsistent(region);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(ConsistencyTest, InstantiationBudgetIsEnforced) {
+  ConsistencyChecker checker(*sat_);
+  Region region = Region::Of(
+      r_, Attrs(r_, {"zip", "AC", "phn", "type", "city"}).ToVector());
+  PatternTuple row(r_);  // all wildcards, all mentioned -> explosion
+  ASSERT_TRUE(region.AddRow(row).ok());
+  Result<bool> ok = checker.IsConsistent(region, /*max_instances=*/10);
+  EXPECT_FALSE(ok.ok());
+  EXPECT_EQ(ok.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ConsistencyTest, EmptyRulesAlwaysConsistent) {
+  RuleSet empty(r_, rm_);
+  MasterIndex index(empty, dm_);
+  Saturator sat(empty, dm_, index);
+  ConsistencyChecker checker(sat);
+  Region region = RegionFromTuple({"zip"}, T1(r_));
+  Result<bool> ok = checker.IsConsistent(region);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+class CoverageTest : public ConsistencyTest {};
+
+TEST_F(CoverageTest, ZzmNotCertain) {
+  // Example 8: (Z_zm, T_zm) yields unique but not certain fixes (item is
+  // never covered).
+  CoverageChecker coverage(*sat_);
+  Region region = RegionFromTuple({"zip", "phn", "type"}, T1(r_));
+  Result<bool> ok = coverage.IsCertainRegion(region);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_FALSE(*ok);
+}
+
+TEST_F(CoverageTest, ZzmiCertain) {
+  // Example 9: extending with item gives a certain region.
+  CoverageChecker coverage(*sat_);
+  Region region = RegionFromTuple({"zip", "phn", "type", "item"}, T1(r_));
+  Result<bool> ok = coverage.IsCertainRegion(region);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(CoverageTest, ZlCertain) {
+  // Example 9's second certain region (Z_L, T_L): fn, ln, AC, phn, type,
+  // item with home-phone patterns from master tuples.
+  CoverageChecker coverage(*sat_);
+  Region region = Region::Of(
+      r_, Attrs(r_, {"fn", "ln", "AC", "phn", "type", "item"}).ToVector());
+  for (size_t m = 0; m < dm_.size(); ++m) {
+    PatternTuple row(r_);
+    row.SetConst(A(r_, "fn"), dm_.at(m).at(A(rm_, "FN")));
+    row.SetConst(A(r_, "ln"), dm_.at(m).at(A(rm_, "LN")));
+    row.SetConst(A(r_, "AC"), dm_.at(m).at(A(rm_, "AC")));
+    row.SetConst(A(r_, "phn"), dm_.at(m).at(A(rm_, "Hphn")));
+    row.SetConst(A(r_, "type"), Value::Str("1"));
+    ASSERT_TRUE(region.AddRow(row).ok());
+  }
+  Result<bool> ok = coverage.IsCertainRegion(region);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(CoverageTest, EmptyTableauNotCertain) {
+  CoverageChecker coverage(*sat_);
+  Region region = Region::Of(r_, Attrs(r_, {"zip"}).ToVector());
+  Result<bool> ok = coverage.IsCertainRegion(region);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(*ok);
+}
+
+TEST_F(CoverageTest, AllAttributesRegionTriviallyCertain) {
+  CoverageChecker coverage(*sat_);
+  Region region = Region::Of(r_, r_->AllAttrs().ToVector());
+  PatternTuple row(r_);
+  Tuple t1 = T1(r_);
+  for (AttrId a = 0; a < r_->num_attrs(); ++a) row.SetConst(a, t1.at(a));
+  ASSERT_TRUE(region.AddRow(row).ok());
+  Result<bool> ok = coverage.IsCertainRegion(region);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(CoverageTest, InconsistentRegionNotCertain) {
+  CoverageChecker coverage(*sat_);
+  Region region = RegionFromTuple(
+      {"AC", "phn", "type", "zip", "fn", "ln", "str", "city", "item"},
+      T3(r_));
+  // All attrs present so coverage holds trivially, but row values... all
+  // of R is in Z, so nothing can conflict: certain.
+  Result<bool> all_ok = coverage.IsCertainRegion(region);
+  ASSERT_TRUE(all_ok.ok());
+  EXPECT_TRUE(*all_ok);
+  // Whereas the conflicting sub-region is consistent=false -> not certain.
+  Region sub = RegionFromTuple({"AC", "phn", "type", "zip"}, T3(r_));
+  Result<bool> sub_ok = coverage.IsCertainRegion(sub);
+  ASSERT_TRUE(sub_ok.ok());
+  EXPECT_FALSE(*sub_ok);
+}
+
+}  // namespace
+}  // namespace certfix

@@ -1,0 +1,199 @@
+#include "core/direct_fix.h"
+
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+
+#include "test_util.h"
+
+namespace certfix {
+namespace {
+
+using namespace testing_fixtures;
+
+// A direct-fix rule set over the supplier schemas: patterns only on lhs
+// attributes (Sect. 4.1 case (5) requires Xp subset of X).
+RuleSet DirectRules(const SchemaPtr& r, const SchemaPtr& rm) {
+  const char* text = R"(
+    rule d1: (zip | zip) -> (AC | AC)
+    rule d2: (zip | zip) -> (str | str)
+    rule d3: (zip | zip) -> (city | city)
+    rule d4: (AC | AC) -> (city | city) when AC!=0800
+    rule d5: (phn, type | Mphn, DOB) -> (fn | FN) when type=2
+  )";
+  Result<RuleSet> rules = ParseRules(text, r, rm);
+  EXPECT_TRUE(rules.ok()) << rules.status();
+  return std::move(rules).ValueOrDie();
+}
+
+class DirectFixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = SupplierSchema();
+    rm_ = SupplierMasterSchema();
+    dm_ = SupplierMaster(rm_);
+  }
+  SchemaPtr r_;
+  SchemaPtr rm_;
+  Relation dm_;
+};
+
+TEST_F(DirectFixTest, ShapeValidation) {
+  RuleSet direct = DirectRules(r_, rm_);
+  DirectFixChecker ok_checker(direct, dm_);
+  EXPECT_TRUE(ok_checker.ValidateShape().ok());
+
+  RuleSet full = SupplierRules(r_, rm_);  // phi4 has pattern attr type not in X
+  DirectFixChecker bad_checker(full, dm_);
+  Status st = bad_checker.ValidateShape();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST_F(DirectFixTest, ConsistentRegion) {
+  RuleSet direct = DirectRules(r_, rm_);
+  DirectFixChecker checker(direct, dm_);
+  // Z = {zip}, tc pins zip to s1's: d1-d3 each have a single master row.
+  std::vector<AttrId> z = {A(r_, "zip")};
+  PatternTuple tc(r_);
+  tc.SetConst(A(r_, "zip"), Value::Str("EH7 4AH"));
+  Result<bool> ok = checker.IsConsistent(z, tc);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DirectFixTest, ConflictingPairDetected) {
+  // d3 (zip -> city) and d4 (AC -> city): with Z = {zip, AC} and tc
+  // binding zip to s1 but AC to s2's 020, the two queries produce master
+  // rows assigning city = Edi vs city = Lnd.
+  RuleSet direct = DirectRules(r_, rm_);
+  DirectFixChecker checker(direct, dm_);
+  std::vector<AttrId> z = {A(r_, "zip"), A(r_, "AC")};
+  PatternTuple tc(r_);
+  tc.SetConst(A(r_, "zip"), Value::Str("EH7 4AH"));
+  tc.SetConst(A(r_, "AC"), Value::Str("020"));
+  std::vector<DirectFixWitness> witnesses;
+  Result<bool> ok = checker.IsConsistent(z, tc, &witnesses);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_FALSE(*ok);
+  ASSERT_FALSE(witnesses.empty());
+  EXPECT_EQ(witnesses[0].attr, A(r_, "city"));
+}
+
+TEST_F(DirectFixTest, ConsistentWhenValuesAgree) {
+  RuleSet direct = DirectRules(r_, rm_);
+  DirectFixChecker checker(direct, dm_);
+  std::vector<AttrId> z = {A(r_, "zip"), A(r_, "AC")};
+  PatternTuple tc(r_);
+  tc.SetConst(A(r_, "zip"), Value::Str("EH7 4AH"));
+  tc.SetConst(A(r_, "AC"), Value::Str("131"));  // s1's own AC
+  Result<bool> ok = checker.IsConsistent(z, tc);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DirectFixTest, SameRuleTwoMastersConflict) {
+  // Duplicate s1's zip with a different city: Q_phi1,phi1 self-join must
+  // catch the disagreement.
+  Relation dm2 = dm_;
+  Tuple clone = dm_.at(0);
+  clone.Set(A(rm_, "city"), Value::Str("Gla"));
+  ASSERT_TRUE(dm2.Append(clone).ok());
+  RuleSet direct = DirectRules(r_, rm_);
+  DirectFixChecker checker(direct, dm2);
+  std::vector<AttrId> z = {A(r_, "zip")};
+  PatternTuple tc(r_);
+  tc.SetConst(A(r_, "zip"), Value::Str("EH7 4AH"));
+  Result<bool> ok = checker.IsConsistent(z, tc);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(*ok);
+}
+
+TEST_F(DirectFixTest, CertainRegionRequiresFullCoverage) {
+  RuleSet direct = DirectRules(r_, rm_);
+  DirectFixChecker checker(direct, dm_);
+  // Z = {zip}: fn, ln, phn, type, item are not covered by direct rules
+  // from zip alone -> not a certain region.
+  std::vector<AttrId> z = {A(r_, "zip")};
+  PatternTuple tc(r_);
+  tc.SetConst(A(r_, "zip"), Value::Str("EH7 4AH"));
+  Result<bool> ok = checker.IsCertainRegion(z, tc);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_FALSE(*ok);
+}
+
+TEST_F(DirectFixTest, CertainRegionWhenAllCovered) {
+  RuleSet direct = DirectRules(r_, rm_);
+  DirectFixChecker checker(direct, dm_);
+  // Z = everything except the three attributes d1-d3 fix from zip.
+  std::vector<AttrId> z =
+      Attrs(r_, {"fn", "ln", "phn", "type", "zip", "item"}).ToVector();
+  PatternTuple tc(r_);
+  tc.SetConst(A(r_, "zip"), Value::Str("EH7 4AH"));
+  tc.SetConst(A(r_, "type"), Value::Str("1"));
+  tc.SetConst(A(r_, "fn"), Value::Str("Robert"));
+  tc.SetConst(A(r_, "ln"), Value::Str("Brady"));
+  tc.SetConst(A(r_, "phn"), Value::Str("6884563"));
+  tc.SetConst(A(r_, "item"), Value::Str("CDs"));
+  Result<bool> ok = checker.IsCertainRegion(z, tc);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DirectFixTest, CoverageNeedsMatchingMaster) {
+  RuleSet direct = DirectRules(r_, rm_);
+  DirectFixChecker checker(direct, dm_);
+  std::vector<AttrId> z =
+      Attrs(r_, {"fn", "ln", "phn", "type", "zip", "item"}).ToVector();
+  PatternTuple tc(r_);
+  tc.SetConst(A(r_, "zip"), Value::Str("NO SUCH ZIP"));
+  tc.SetConst(A(r_, "type"), Value::Str("1"));
+  tc.SetConst(A(r_, "fn"), Value::Str("Robert"));
+  tc.SetConst(A(r_, "ln"), Value::Str("Brady"));
+  tc.SetConst(A(r_, "phn"), Value::Str("6884563"));
+  tc.SetConst(A(r_, "item"), Value::Str("CDs"));
+  Result<bool> ok = checker.IsCertainRegion(z, tc);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(*ok);  // no master tuple with that zip
+}
+
+TEST_F(DirectFixTest, AgreesWithGeneralCheckerOnDirectRules) {
+  // Cross-validation: for direct rules without region extension effects,
+  // the query-based checker and the saturation-based checker must agree
+  // on single-round fixability conflicts.
+  RuleSet direct = DirectRules(r_, rm_);
+  DirectFixChecker query_checker(direct, dm_);
+  MasterIndex index(direct, dm_);
+  Saturator sat(direct, dm_, index);
+
+  struct Case {
+    std::vector<std::string> z;
+    std::vector<std::pair<std::string, std::string>> binds;
+  };
+  std::vector<Case> cases = {
+      {{"zip"}, {{"zip", "EH7 4AH"}}},
+      {{"zip", "AC"}, {{"zip", "EH7 4AH"}, {"AC", "020"}}},
+      {{"zip", "AC"}, {{"zip", "EH7 4AH"}, {"AC", "131"}}},
+      {{"zip", "AC"}, {{"zip", "NW1 6XE"}, {"AC", "020"}}},
+  };
+  for (const Case& c : cases) {
+    std::vector<AttrId> z = Attrs(r_, c.z).ToVector();
+    PatternTuple tc(r_);
+    for (const auto& [name, value] : c.binds) {
+      tc.SetConst(A(r_, name), Value::Str(value));
+    }
+    Result<bool> direct_ok = query_checker.IsConsistent(z, tc);
+    ASSERT_TRUE(direct_ok.ok());
+
+    Region region = Region::Of(r_, z);
+    ASSERT_TRUE(region.AddRow(tc).ok());
+    ConsistencyChecker general(sat);
+    Result<bool> general_ok = general.IsConsistent(region);
+    ASSERT_TRUE(general_ok.ok());
+    EXPECT_EQ(*direct_ok, *general_ok)
+        << "divergence on z=" << region.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace certfix

@@ -1,0 +1,188 @@
+#include "repair/increp.h"
+
+#include <gtest/gtest.h>
+
+#include "repair/cost_model.h"
+#include "repair/equivalence.h"
+
+namespace certfix {
+namespace {
+
+SchemaPtr S() {
+  return Schema::Make(
+      "R", std::vector<std::string>{"AC", "city", "zip", "name"});
+}
+
+CfdSet ExampleCfds(const SchemaPtr& s) {
+  CfdSet cfds(s);
+  PatternTuple tp020(s);
+  tp020.SetConst(0, Value::Str("020"));
+  tp020.SetConst(1, Value::Str("Ldn"));
+  EXPECT_TRUE(
+      cfds.Add(std::move(Cfd::Make("ac020", s, {0}, 1, std::move(tp020)))
+                   .ValueOrDie())
+          .ok());
+  PatternTuple tp131(s);
+  tp131.SetConst(0, Value::Str("131"));
+  tp131.SetConst(1, Value::Str("Edi"));
+  EXPECT_TRUE(
+      cfds.Add(std::move(Cfd::Make("ac131", s, {0}, 1, std::move(tp131)))
+                   .ValueOrDie())
+          .ok());
+  // Variable FD zip -> city.
+  PatternTuple tpv(s);
+  EXPECT_TRUE(
+      cfds.Add(std::move(Cfd::Make("zipcity", s, {2}, 1, std::move(tpv)))
+                   .ValueOrDie())
+          .ok());
+  return cfds;
+}
+
+TEST(CellPartitionTest, UnionFindBasics) {
+  CellPartition p(3, 2);
+  Cell a{0, 0};
+  Cell b{1, 0};
+  Cell c{2, 1};
+  EXPECT_NE(p.Find(a), p.Find(b));
+  EXPECT_TRUE(p.Union(a, b));
+  EXPECT_EQ(p.Find(a), p.Find(b));
+  EXPECT_NE(p.Find(a), p.Find(c));
+}
+
+TEST(CellPartitionTest, PinsAndClashes) {
+  CellPartition p(2, 2);
+  Cell a{0, 0};
+  Cell b{1, 0};
+  EXPECT_TRUE(p.Pin(a, Value::Str("x")));
+  EXPECT_TRUE(p.Pin(a, Value::Str("x")));   // same pin ok
+  EXPECT_FALSE(p.Pin(a, Value::Str("y")));  // clash
+  EXPECT_TRUE(p.Pin(b, Value::Str("y")));
+  EXPECT_FALSE(p.Union(a, b));  // pin clash on merge
+  // Merged class keeps the first pin.
+  ASSERT_TRUE(p.PinOf(a).has_value());
+}
+
+TEST(CellPartitionTest, ClassesEnumeration) {
+  CellPartition p(2, 2);
+  p.Union(Cell{0, 0}, Cell{1, 0});
+  std::vector<std::vector<Cell>> classes = p.Classes();
+  // 4 cells, one merged pair -> 3 classes.
+  EXPECT_EQ(classes.size(), 3u);
+  size_t merged = 0;
+  for (const auto& cls : classes) {
+    if (cls.size() == 2) ++merged;
+  }
+  EXPECT_EQ(merged, 1u);
+}
+
+TEST(CostModelTest, DistanceProperties) {
+  EXPECT_DOUBLE_EQ(CostModel::Distance(Value::Str("x"), Value::Str("x")), 0.0);
+  EXPECT_DOUBLE_EQ(CostModel::Distance(Value(), Value::Str("x")), 1.0);
+  EXPECT_DOUBLE_EQ(CostModel::Distance(Value::Str("x"), Value()), 1.0);
+  double d = CostModel::Distance(Value::Str("Lnd"), Value::Str("Ldn"));
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(CostModelTest, WeightsScaleCost) {
+  SchemaPtr s = S();
+  Relation rel(s);
+  ASSERT_TRUE(rel.AppendStrings({"020", "Edi", "z", "n"}).ok());
+  CostModel costs(rel.size(), s->num_attrs());
+  double base = costs.ChangeCost(rel, 0, 1, Value::Str("Ldn"));
+  costs.SetWeight(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(costs.ChangeCost(rel, 0, 1, Value::Str("Ldn")), 3 * base);
+}
+
+TEST(IncRepTest, FixesConstantViolation) {
+  // Example 1's heuristic behaviour: IncRep resolves t1's (020, Edi)
+  // violation by changing city to Ldn — which the paper criticizes as
+  // potentially wrong, but is the CFD-repair semantics.
+  SchemaPtr s = S();
+  CfdSet cfds = ExampleCfds(s);
+  Relation dirty(s);
+  ASSERT_TRUE(dirty.AppendStrings({"020", "Edi", "EH7", "Bob"}).ok());
+  IncRep increp(cfds);
+  RepairResult result = increp.Repair(dirty);
+  EXPECT_EQ(result.repaired.at(0).at(1).as_string(), "Ldn");
+  EXPECT_EQ(result.remaining_violations, 0u);
+  EXPECT_GE(result.cells_changed, 1u);
+}
+
+TEST(IncRepTest, ResolvesVariableViolationByMajorityCost) {
+  SchemaPtr s = S();
+  CfdSet cfds(s);
+  PatternTuple tpv(s);
+  ASSERT_TRUE(
+      cfds.Add(std::move(Cfd::Make("zipcity", s, {2}, 1, std::move(tpv)))
+                   .ValueOrDie())
+          .ok());
+  Relation dirty(s);
+  // Three tuples share a zip; two say Edi, one says Edj (typo): the cheap
+  // repair converges to the value minimizing total distance.
+  ASSERT_TRUE(dirty.AppendStrings({"131", "Edi", "EH7", "a"}).ok());
+  ASSERT_TRUE(dirty.AppendStrings({"131", "Edi", "EH7", "b"}).ok());
+  ASSERT_TRUE(dirty.AppendStrings({"131", "Edj", "EH7", "c"}).ok());
+  IncRep increp(cfds);
+  RepairResult result = increp.Repair(dirty);
+  EXPECT_EQ(result.remaining_violations, 0u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.repaired.at(i).at(1).as_string(), "Edi");
+  }
+  EXPECT_EQ(result.cells_changed, 1u);
+}
+
+TEST(IncRepTest, CleanInputUntouched) {
+  SchemaPtr s = S();
+  CfdSet cfds = ExampleCfds(s);
+  Relation clean(s);
+  ASSERT_TRUE(clean.AppendStrings({"020", "Ldn", "NW1", "a"}).ok());
+  ASSERT_TRUE(clean.AppendStrings({"131", "Edi", "EH7", "b"}).ok());
+  IncRep increp(cfds);
+  RepairResult result = increp.Repair(clean);
+  EXPECT_EQ(result.cells_changed, 0u);
+  EXPECT_EQ(result.passes, 1u);
+  EXPECT_EQ(result.repaired.at(0), clean.at(0));
+}
+
+TEST(IncRepTest, CascadingRepairsTakeMultiplePasses) {
+  SchemaPtr s = S();
+  CfdSet cfds = ExampleCfds(s);
+  Relation dirty(s);
+  // Fixing the constant violation on tuple 0 (city := Ldn) breaks the FD
+  // zip -> city with tuple 1 (same zip, city Edi): a second pass is
+  // needed.
+  ASSERT_TRUE(dirty.AppendStrings({"020", "Edi", "NW1", "a"}).ok());
+  ASSERT_TRUE(dirty.AppendStrings({"999", "Edi", "NW1", "b"}).ok());
+  IncRep increp(cfds);
+  RepairResult result = increp.Repair(dirty);
+  EXPECT_EQ(result.remaining_violations, 0u);
+  EXPECT_GE(result.passes, 2u);
+  EXPECT_EQ(result.repaired.at(0).at(1).as_string(), "Ldn");
+  EXPECT_EQ(result.repaired.at(1).at(1).as_string(), "Ldn");
+}
+
+TEST(IncRepTest, PassBudgetRespected) {
+  SchemaPtr s = S();
+  CfdSet cfds = ExampleCfds(s);
+  Relation dirty(s);
+  ASSERT_TRUE(dirty.AppendStrings({"020", "Edi", "NW1", "a"}).ok());
+  IncRepOptions options;
+  options.max_passes = 1;
+  IncRep increp(cfds, options);
+  RepairResult result = increp.Repair(dirty);
+  EXPECT_EQ(result.passes, 1u);
+}
+
+TEST(IncRepTest, TotalCostAccountsChanges) {
+  SchemaPtr s = S();
+  CfdSet cfds = ExampleCfds(s);
+  Relation dirty(s);
+  ASSERT_TRUE(dirty.AppendStrings({"020", "Edi", "EH7", "Bob"}).ok());
+  IncRep increp(cfds);
+  RepairResult result = increp.Repair(dirty);
+  EXPECT_GT(result.total_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace certfix

@@ -1,0 +1,108 @@
+#include "relational/multi_master.h"
+
+#include <gtest/gtest.h>
+
+#include "core/saturation.h"
+#include "rules/rule_set.h"
+
+namespace certfix {
+namespace {
+
+Relation AddressMaster() {
+  SchemaPtr s = Schema::Make("Addr", std::vector<std::string>{"zip", "city"});
+  Relation rel(s);
+  EXPECT_TRUE(rel.AppendStrings({"EH7", "Edi"}).ok());
+  EXPECT_TRUE(rel.AppendStrings({"NW1", "Lnd"}).ok());
+  return rel;
+}
+
+Relation PhoneMaster() {
+  SchemaPtr s = Schema::Make("Phone", std::vector<std::string>{"phn", "owner"});
+  Relation rel(s);
+  EXPECT_TRUE(rel.AppendStrings({"555", "Ann"}).ok());
+  return rel;
+}
+
+TEST(MultiMasterTest, CombinedSchemaShape) {
+  Relation addr = AddressMaster();
+  Relation phone = PhoneMaster();
+  Result<MultiMaster> mm =
+      MultiMaster::Combine({{"addr", &addr}, {"phone", &phone}});
+  ASSERT_TRUE(mm.ok()) << mm.status();
+  // id + 2 + 2 attributes.
+  EXPECT_EQ(mm->schema()->num_attrs(), 5u);
+  EXPECT_EQ(mm->schema()->attr_name(0), "id");
+  EXPECT_TRUE(mm->schema()->Has("addr.zip"));
+  EXPECT_TRUE(mm->schema()->Has("phone.owner"));
+  EXPECT_EQ(mm->relation().size(), 3u);
+}
+
+TEST(MultiMasterTest, SigmaIdSelectsSource) {
+  Relation addr = AddressMaster();
+  Relation phone = PhoneMaster();
+  MultiMaster mm = std::move(MultiMaster::Combine(
+                                 {{"addr", &addr}, {"phone", &phone}}))
+                       .ValueOrDie();
+  size_t addr_rows = 0;
+  size_t phone_rows = 0;
+  for (const Tuple& t : mm.relation()) {
+    if (t.at(mm.id_attr()) == mm.SourceId(0)) {
+      ++addr_rows;
+      EXPECT_FALSE(t.at(*mm.Resolve("addr", "zip")).is_null());
+      EXPECT_TRUE(t.at(*mm.Resolve("phone", "phn")).is_null());
+    } else {
+      ++phone_rows;
+      EXPECT_TRUE(t.at(*mm.Resolve("addr", "zip")).is_null());
+    }
+  }
+  EXPECT_EQ(addr_rows, 2u);
+  EXPECT_EQ(phone_rows, 1u);
+}
+
+TEST(MultiMasterTest, RulesAgainstCombinedMaster) {
+  // An input schema with zip/city/phn/owner; rules pull city from the
+  // addr source and owner from the phone source of the combined master.
+  Relation addr = AddressMaster();
+  Relation phone = PhoneMaster();
+  MultiMaster mm = std::move(MultiMaster::Combine(
+                                 {{"addr", &addr}, {"phone", &phone}}))
+                       .ValueOrDie();
+  SchemaPtr r = Schema::Make(
+      "R", std::vector<std::string>{"zip", "city", "phn", "owner"});
+
+  RuleSet rules(r, mm.schema());
+  Result<EditingRule> city_rule = EditingRule::Make(
+      "city", r, mm.schema(), {*r->IndexOf("zip")},
+      {*mm.Resolve("addr", "zip")}, *r->IndexOf("city"),
+      *mm.Resolve("addr", "city"), PatternTuple(r));
+  ASSERT_TRUE(city_rule.ok());
+  ASSERT_TRUE(rules.Add(std::move(city_rule).ValueOrDie()).ok());
+  Result<EditingRule> owner_rule = EditingRule::Make(
+      "owner", r, mm.schema(), {*r->IndexOf("phn")},
+      {*mm.Resolve("phone", "phn")}, *r->IndexOf("owner"),
+      *mm.Resolve("phone", "owner"), PatternTuple(r));
+  ASSERT_TRUE(owner_rule.ok());
+  ASSERT_TRUE(rules.Add(std::move(owner_rule).ValueOrDie()).ok());
+
+  MasterIndex index(rules, mm.relation());
+  Saturator sat(rules, mm.relation(), index);
+  Tuple t = std::move(Tuple::FromStrings(r, {"EH7", "WRONG", "555", ""}))
+                .ValueOrDie();
+  AttrSet z{*r->IndexOf("zip"), *r->IndexOf("phn")};
+  SaturationResult result = sat.CheckUniqueFix(t, z);
+  EXPECT_TRUE(result.unique);
+  EXPECT_EQ(result.fixed.at(*r->IndexOf("city")).as_string(), "Edi");
+  EXPECT_EQ(result.fixed.at(*r->IndexOf("owner")).as_string(), "Ann");
+  EXPECT_TRUE(result.CertainOver(r));
+}
+
+TEST(MultiMasterTest, RejectsDuplicateNames) {
+  Relation addr = AddressMaster();
+  EXPECT_FALSE(
+      MultiMaster::Combine({{"a", &addr}, {"a", &addr}}).ok());
+  EXPECT_FALSE(MultiMaster::Combine({{"", &addr}}).ok());
+  EXPECT_FALSE(MultiMaster::Combine({}).ok());
+}
+
+}  // namespace
+}  // namespace certfix

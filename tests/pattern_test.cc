@@ -1,0 +1,203 @@
+#include "pattern/pattern_tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/tableau.h"
+
+namespace certfix {
+namespace {
+
+SchemaPtr S() {
+  return Schema::Make("R", std::vector<std::string>{"a", "b", "c"});
+}
+
+Tuple T(const std::vector<std::string>& fields) {
+  return std::move(Tuple::FromStrings(S(), fields)).ValueOrDie();
+}
+
+TEST(PatternValueTest, WildcardMatchesEverything) {
+  PatternValue pv = PatternValue::Wildcard();
+  EXPECT_TRUE(pv.Matches(Value::Str("x")));
+  EXPECT_TRUE(pv.Matches(Value()));
+  EXPECT_TRUE(pv.is_wildcard());
+}
+
+TEST(PatternValueTest, ConstMatchesEqual) {
+  PatternValue pv = PatternValue::Const(Value::Str("a"));
+  EXPECT_TRUE(pv.Matches(Value::Str("a")));
+  EXPECT_FALSE(pv.Matches(Value::Str("b")));
+  EXPECT_FALSE(pv.Matches(Value()));
+}
+
+TEST(PatternValueTest, NegConstMatchesDifferent) {
+  // The paper's a-bar: x != a. Used e.g. for AC != 0800 in phi6-phi8.
+  PatternValue pv = PatternValue::NegConst(Value::Str("0800"));
+  EXPECT_FALSE(pv.Matches(Value::Str("0800")));
+  EXPECT_TRUE(pv.Matches(Value::Str("131")));
+  EXPECT_TRUE(pv.Matches(Value()));  // null != "0800"
+}
+
+TEST(PatternValueTest, NegNullMeansNotNull) {
+  PatternValue pv = PatternValue::NegConst(Value());
+  EXPECT_FALSE(pv.Matches(Value()));
+  EXPECT_TRUE(pv.Matches(Value::Str("x")));
+}
+
+TEST(PatternValueTest, ToString) {
+  EXPECT_EQ(PatternValue::Wildcard().ToString(), "_");
+  EXPECT_EQ(PatternValue::Const(Value::Str("a")).ToString(), "a");
+  EXPECT_EQ(PatternValue::NegConst(Value::Str("a")).ToString(), "!a");
+}
+
+TEST(PatternTupleTest, EmptyMatchesAll) {
+  PatternTuple tp(S());
+  EXPECT_TRUE(tp.Matches(T({"x", "y", "z"})));
+  EXPECT_TRUE(tp.empty());
+}
+
+TEST(PatternTupleTest, ConstCell) {
+  PatternTuple tp(S());
+  tp.SetConst(0, Value::Str("x"));
+  EXPECT_TRUE(tp.Matches(T({"x", "y", "z"})));
+  EXPECT_FALSE(tp.Matches(T({"q", "y", "z"})));
+}
+
+TEST(PatternTupleTest, MixedCells) {
+  PatternTuple tp(S());
+  tp.SetConst(0, Value::Str("x"));
+  tp.SetNeg(1, Value::Str("bad"));
+  tp.SetWildcard(2);
+  EXPECT_TRUE(tp.Matches(T({"x", "ok", "anything"})));
+  EXPECT_FALSE(tp.Matches(T({"x", "bad", "anything"})));
+}
+
+TEST(PatternTupleTest, MatchesOnSubset) {
+  PatternTuple tp(S());
+  tp.SetConst(0, Value::Str("x"));
+  tp.SetConst(1, Value::Str("y"));
+  Tuple t = T({"x", "WRONG", "z"});
+  AttrSet only_a{0};
+  EXPECT_TRUE(tp.MatchesOn(t, only_a));  // cell on b ignored
+  EXPECT_FALSE(tp.Matches(t));
+}
+
+TEST(PatternTupleTest, GetOutsideXpIsWildcard) {
+  PatternTuple tp(S());
+  tp.SetConst(0, Value::Str("x"));
+  EXPECT_TRUE(tp.Get(2).is_wildcard());
+  EXPECT_FALSE(tp.Has(2));
+  EXPECT_TRUE(tp.Has(0));
+}
+
+TEST(PatternTupleTest, NormalizedDropsWildcards) {
+  // Sect. 2, Notations (3): normalization removes wildcard cells without
+  // changing the matching semantics.
+  PatternTuple tp(S());
+  tp.SetConst(0, Value::Str("x"));
+  tp.SetWildcard(1);
+  PatternTuple norm = tp.Normalized();
+  EXPECT_EQ(norm.size(), 1u);
+  EXPECT_FALSE(norm.Has(1));
+  for (const auto& fields : {std::vector<std::string>{"x", "y", "z"},
+                             std::vector<std::string>{"q", "y", "z"}}) {
+    EXPECT_EQ(tp.Matches(T(fields)), norm.Matches(T(fields)));
+  }
+}
+
+TEST(PatternTupleTest, PositiveConcreteClassification) {
+  PatternTuple constant(S());
+  constant.SetConst(0, Value::Str("x"));
+  EXPECT_TRUE(constant.IsPositive());
+  EXPECT_TRUE(constant.IsConcrete());
+
+  PatternTuple with_wild = constant;
+  with_wild.SetWildcard(1);
+  EXPECT_TRUE(with_wild.IsPositive());
+  EXPECT_FALSE(with_wild.IsConcrete());
+
+  PatternTuple with_neg = constant;
+  with_neg.SetNeg(1, Value::Str("q"));
+  EXPECT_FALSE(with_neg.IsPositive());
+  EXPECT_FALSE(with_neg.IsConcrete());
+}
+
+TEST(PatternTupleTest, MergeCompatible) {
+  PatternTuple a(S());
+  a.SetConst(0, Value::Str("x"));
+  PatternTuple b(S());
+  b.SetConst(1, Value::Str("y"));
+  EXPECT_TRUE(a.MergeFrom(b));
+  EXPECT_EQ(a.Get(1).value().as_string(), "y");
+}
+
+TEST(PatternTupleTest, MergeConflictingConstants) {
+  PatternTuple a(S());
+  a.SetConst(0, Value::Str("x"));
+  PatternTuple b(S());
+  b.SetConst(0, Value::Str("q"));
+  EXPECT_FALSE(a.MergeFrom(b));
+}
+
+TEST(PatternTupleTest, MergeConstOverNeg) {
+  // const "131" refines neg "0800" (as in region rows built from phi6-8).
+  PatternTuple a(S());
+  a.SetNeg(0, Value::Str("0800"));
+  PatternTuple b(S());
+  b.SetConst(0, Value::Str("131"));
+  EXPECT_TRUE(a.MergeFrom(b));
+  EXPECT_TRUE(a.Get(0).is_const());
+  EXPECT_EQ(a.Get(0).value().as_string(), "131");
+}
+
+TEST(PatternTupleTest, MergeConstAgainstItsNegationFails) {
+  PatternTuple a(S());
+  a.SetConst(0, Value::Str("0800"));
+  PatternTuple b(S());
+  b.SetNeg(0, Value::Str("0800"));
+  EXPECT_FALSE(a.MergeFrom(b));
+}
+
+TEST(PatternTupleTest, MergeSameCellIdempotent) {
+  PatternTuple a(S());
+  a.SetConst(0, Value::Str("x"));
+  PatternTuple b = a;
+  EXPECT_TRUE(a.MergeFrom(b));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(TableauTest, MarksAnyRow) {
+  Tableau tc(S());
+  PatternTuple r1(S());
+  r1.SetConst(0, Value::Str("x"));
+  PatternTuple r2(S());
+  r2.SetConst(0, Value::Str("y"));
+  tc.Add(r1);
+  tc.Add(r2);
+  EXPECT_TRUE(tc.Marks(T({"x", "_", "_"})));
+  EXPECT_TRUE(tc.Marks(T({"y", "_", "_"})));
+  EXPECT_FALSE(tc.Marks(T({"z", "_", "_"})));
+  EXPECT_EQ(tc.FirstMatch(T({"y", "_", "_"})), 1);
+  EXPECT_EQ(tc.FirstMatch(T({"z", "_", "_"})), -1);
+}
+
+TEST(TableauTest, EmptyMarksNothing) {
+  Tableau tc(S());
+  EXPECT_FALSE(tc.Marks(T({"x", "y", "z"})));
+}
+
+TEST(TableauTest, Classification) {
+  Tableau tc(S());
+  PatternTuple r(S());
+  r.SetConst(0, Value::Str("x"));
+  tc.Add(r);
+  EXPECT_TRUE(tc.IsPositive());
+  EXPECT_TRUE(tc.IsConcrete());
+  PatternTuple neg(S());
+  neg.SetNeg(1, Value::Str("q"));
+  tc.Add(neg);
+  EXPECT_FALSE(tc.IsPositive());
+  EXPECT_FALSE(tc.IsConcrete());
+}
+
+}  // namespace
+}  // namespace certfix

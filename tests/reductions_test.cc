@@ -1,0 +1,190 @@
+/// \file reductions_test.cc
+/// \brief Cross-validates the Sect. 4 complexity reductions against the
+/// library's checkers: the reduction target instances must agree with an
+/// independent DPLL solver / exact set-cover solver on every random input.
+
+#include "solver/reductions.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/zproblems.h"
+#include "solver/sat.h"
+
+namespace certfix {
+namespace {
+
+// --- Theorem 1: 3SAT -> consistency ------------------------------------
+
+class ConsistencyReductionTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConsistencyReductionTest, ConsistentIffUnsat) {
+  Rng rng(GetParam());
+  int num_vars = 3 + static_cast<int>(rng.Uniform(0, 2));
+  int num_clauses = 2 + static_cast<int>(rng.Uniform(0, 4));
+  CnfFormula formula = RandomThreeSat(num_vars, num_clauses, &rng);
+
+  ConsistencyInstance inst = Reduce3SatToConsistency(formula);
+  MasterIndex index(inst.rules, inst.dm);
+  Saturator sat(inst.rules, inst.dm, index);
+  ConsistencyChecker checker(sat);
+  Result<bool> consistent =
+      checker.IsConsistent(inst.region, /*max_instances=*/2000000);
+  ASSERT_TRUE(consistent.ok()) << consistent.status();
+
+  DpllSolver solver;
+  bool satisfiable = solver.Solve(formula).has_value();
+  EXPECT_EQ(*consistent, !satisfiable) << formula.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, ConsistencyReductionTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(ConsistencyReductionTest, KnownSatisfiable) {
+  // (x1 v x2 v x3): satisfiable -> inconsistent instance.
+  CnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {{1, 2, 3}};
+  ConsistencyInstance inst = Reduce3SatToConsistency(f);
+  EXPECT_EQ(inst.rules.size(), 9u * 1 + 2);
+  EXPECT_EQ(inst.dm.size(), 3u);
+  MasterIndex index(inst.rules, inst.dm);
+  Saturator sat(inst.rules, inst.dm, index);
+  ConsistencyChecker checker(sat);
+  Result<bool> consistent =
+      checker.IsConsistent(inst.region, /*max_instances=*/2000000);
+  ASSERT_TRUE(consistent.ok()) << consistent.status();
+  EXPECT_FALSE(*consistent);
+}
+
+TEST(ConsistencyReductionTest, KnownUnsatisfiable) {
+  // All sign patterns over {x1, x2, x3}: unsatisfiable -> consistent.
+  CnfFormula f;
+  f.num_vars = 3;
+  for (int bits = 0; bits < 8; ++bits) {
+    Clause c;
+    for (int v = 1; v <= 3; ++v) {
+      c.push_back(((bits >> (v - 1)) & 1) ? v : -v);
+    }
+    f.clauses.push_back(c);
+  }
+  ConsistencyInstance inst = Reduce3SatToConsistency(f);
+  MasterIndex index(inst.rules, inst.dm);
+  Saturator sat(inst.rules, inst.dm, index);
+  ConsistencyChecker checker(sat);
+  Result<bool> consistent =
+      checker.IsConsistent(inst.region, /*max_instances=*/5000000);
+  ASSERT_TRUE(consistent.ok()) << consistent.status();
+  EXPECT_TRUE(*consistent);
+}
+
+// --- Theorems 6 & 9: 3SAT -> Z-validating / Z-counting -----------------
+
+class ZReductionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZReductionTest, ValidateIffSatAndCountEqualsModels) {
+  Rng rng(GetParam() * 77 + 5);
+  int num_vars = 3 + static_cast<int>(rng.Uniform(0, 1));
+  int num_clauses = 2 + static_cast<int>(rng.Uniform(0, 3));
+  CnfFormula formula = RandomThreeSat(num_vars, num_clauses, &rng);
+
+  ZInstance inst = Reduce3SatToZProblems(formula);
+  MasterIndex index(inst.rules, inst.dm);
+  Saturator sat(inst.rules, inst.dm, index);
+  ZProblems z(sat);
+
+  ZOptions opts;
+  opts.max_patterns = 5000000;
+  opts.use_negations = false;  // models correspond to constant patterns
+  Result<std::optional<PatternTuple>> witness = z.Validate(inst.z, opts);
+  ASSERT_TRUE(witness.ok()) << witness.status();
+
+  DpllSolver solver;
+  bool satisfiable = solver.Solve(formula).has_value();
+  EXPECT_EQ(witness->has_value(), satisfiable) << formula.ToString();
+
+  // Variables absent from every clause are unmentioned in Sigma; the
+  // Sect. 4.2 normalization forces their pattern cell to a wildcard, so
+  // the pattern count equals #models / 2^(#unused vars).
+  std::vector<bool> used(static_cast<size_t>(formula.num_vars), false);
+  for (const Clause& c : formula.clauses) {
+    for (Literal lit : c) used[static_cast<size_t>(std::abs(lit) - 1)] = true;
+  }
+  uint64_t unused_factor = 1;
+  for (bool u : used) {
+    if (!u) unused_factor *= 2;
+  }
+  Result<size_t> count = z.Count(inst.z, opts);
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, DpllSolver::CountModels(formula) / unused_factor)
+      << formula.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, ZReductionTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// --- Theorem 12: set cover -> Z-minimum ---------------------------------
+
+TEST(SetCoverTest, GreedyAndExactAgreeOnEasyInstances) {
+  SetCoverInstance sc;
+  sc.universe = 4;
+  sc.sets = {{0, 1}, {2, 3}, {0, 1, 2, 3}};
+  EXPECT_EQ(MinSetCoverSize(sc), 1u);
+  std::vector<size_t> greedy = GreedySetCover(sc);
+  EXPECT_EQ(greedy.size(), 1u);
+  EXPECT_EQ(greedy[0], 2u);
+}
+
+class ZMinReductionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZMinReductionTest, MinZEqualsMinCover) {
+  Rng rng(GetParam() * 131 + 7);
+  // Random small set-cover instance (universe <= 3, sets <= 4 including
+  // the all-elements set) keeping the reduction schema within the exact
+  // search budget: h + n(h+1) <= 19 attributes.
+  SetCoverInstance sc;
+  sc.universe = 2 + rng.Index(2);
+  size_t num_sets = 2 + rng.Index(2);
+  for (size_t s = 0; s < num_sets; ++s) {
+    std::vector<size_t> members;
+    for (size_t x = 0; x < sc.universe; ++x) {
+      if (rng.Bernoulli(0.6)) members.push_back(x);
+    }
+    if (members.empty()) members.push_back(rng.Index(sc.universe));
+    sc.sets.push_back(std::move(members));
+  }
+  // Ensure coverability.
+  std::vector<size_t> all;
+  for (size_t x = 0; x < sc.universe; ++x) all.push_back(x);
+  sc.sets.push_back(all);
+
+  ZInstance inst = ReduceSetCoverToZMinimum(sc);
+  MasterIndex index(inst.rules, inst.dm);
+  Saturator sat(inst.rules, inst.dm, index);
+  ZProblems z(sat);
+
+  size_t min_cover = MinSetCoverSize(sc);
+  ZOptions opts;
+  opts.max_patterns = 100000;
+  opts.use_negations = false;
+  Result<std::optional<std::vector<AttrId>>> zmin =
+      z.MinimumExact(min_cover, opts);
+  ASSERT_TRUE(zmin.ok()) << zmin.status();
+  ASSERT_TRUE(zmin->has_value()) << "no Z of size " << min_cover;
+  EXPECT_LE((*zmin)->size(), min_cover);
+  if (min_cover > 1) {
+    Result<std::optional<std::vector<AttrId>>> smaller =
+        z.MinimumExact(min_cover - 1, opts);
+    ASSERT_TRUE(smaller.ok()) << smaller.status();
+    EXPECT_FALSE(smaller->has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCovers, ZMinReductionTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace certfix

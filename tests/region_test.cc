@@ -1,0 +1,92 @@
+#include "core/region.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace certfix {
+namespace {
+
+using namespace testing_fixtures;
+
+class RegionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = SupplierSchema();
+    rm_ = SupplierMasterSchema();
+    rules_ = SupplierRules(r_, rm_);
+  }
+  SchemaPtr r_;
+  SchemaPtr rm_;
+  RuleSet rules_;
+};
+
+TEST_F(RegionTest, MarksViaTableau) {
+  // (Z_AH, T_AH) of Example 6 (with the non-toll-free reading AC != 0800).
+  Region region = Region::Of(r_, Attrs(r_, {"AC", "phn", "type"}).ToVector());
+  PatternTuple row(r_);
+  row.SetNeg(A(r_, "AC"), Value::Str("0800"));
+  row.SetConst(A(r_, "type"), Value::Str("1"));
+  ASSERT_TRUE(region.AddRow(row).ok());
+
+  EXPECT_TRUE(region.Marks(T3(r_)));   // type 1, AC 020
+  EXPECT_FALSE(region.Marks(T1(r_)));  // type 2
+}
+
+TEST_F(RegionTest, AddRowPadsWildcards) {
+  Region region = Region::Of(r_, Attrs(r_, {"AC", "phn"}).ToVector());
+  PatternTuple row(r_);
+  row.SetConst(A(r_, "AC"), Value::Str("131"));
+  ASSERT_TRUE(region.AddRow(row).ok());
+  // The row now mentions exactly Z.
+  EXPECT_TRUE(region.tableau().at(0).Has(A(r_, "phn")));
+  EXPECT_TRUE(region.tableau().at(0).Get(A(r_, "phn")).is_wildcard());
+}
+
+TEST_F(RegionTest, AddRowRejectsCellsOutsideZ) {
+  Region region = Region::Of(r_, Attrs(r_, {"AC"}).ToVector());
+  PatternTuple row(r_);
+  row.SetConst(A(r_, "city"), Value::Str("Edi"));
+  EXPECT_FALSE(region.AddRow(row).ok());
+}
+
+TEST_F(RegionTest, ExtendAddsRhsWithWildcard) {
+  // Example 7: ext(Z_AH, T_AH, phi3) adds str/city/zip with wildcards; here
+  // one step with phi6 (str).
+  Region region = Region::Of(r_, Attrs(r_, {"AC", "phn", "type"}).ToVector());
+  PatternTuple row(r_);
+  row.SetNeg(A(r_, "AC"), Value::Str("0800"));
+  row.SetConst(A(r_, "type"), Value::Str("1"));
+  ASSERT_TRUE(region.AddRow(row).ok());
+
+  const EditingRule& phi6 = rules_.at(5);
+  Region extended = region.Extend(phi6);
+  EXPECT_TRUE(extended.z_set().Contains(A(r_, "str")));
+  EXPECT_EQ(extended.z().size(), 4u);
+  EXPECT_TRUE(extended.tableau().at(0).Get(A(r_, "str")).is_wildcard());
+  // Original pattern cells survive.
+  EXPECT_TRUE(
+      extended.tableau().at(0).Get(A(r_, "AC")).is_neg_const());
+}
+
+TEST_F(RegionTest, ExtendIdempotentOnExistingAttr) {
+  Region region = Region::Of(r_, Attrs(r_, {"zip", "AC"}).ToVector());
+  PatternTuple row(r_);
+  ASSERT_TRUE(region.AddRow(row).ok());
+  const EditingRule& phi1 = rules_.at(0);  // rhs = AC, already in Z
+  Region extended = region.Extend(phi1);
+  EXPECT_EQ(extended.z().size(), 2u);
+}
+
+TEST_F(RegionTest, ToStringMentionsZAndPatterns) {
+  Region region = Region::Of(r_, Attrs(r_, {"zip"}).ToVector());
+  PatternTuple row(r_);
+  row.SetConst(A(r_, "zip"), Value::Str("EH7 4AH"));
+  ASSERT_TRUE(region.AddRow(row).ok());
+  std::string s = region.ToString();
+  EXPECT_NE(s.find("zip"), std::string::npos);
+  EXPECT_NE(s.find("EH7 4AH"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace certfix

@@ -1,0 +1,128 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "relational/csv.h"
+
+namespace certfix {
+namespace {
+
+SchemaPtr S() {
+  return Schema::Make("R", std::vector<std::string>{"a", "b"});
+}
+
+TEST(RelationTest, AppendAndAccess) {
+  Relation rel(S());
+  EXPECT_TRUE(rel.empty());
+  ASSERT_TRUE(rel.AppendStrings({"x", "y"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"z", "w"}).ok());
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.at(1).at(0).as_string(), "z");
+}
+
+TEST(RelationTest, AppendSchemaMismatch) {
+  Relation rel(S());
+  SchemaPtr other = Schema::Make("Q", std::vector<std::string>{"a", "b"});
+  Tuple t(other);
+  EXPECT_FALSE(rel.Append(t).ok());
+}
+
+TEST(RelationTest, AppendEqualSchemaDifferentPointer) {
+  Relation rel(S());
+  SchemaPtr same_shape = S();  // distinct pointer, structurally equal
+  Tuple t(same_shape);
+  EXPECT_TRUE(rel.Append(t).ok());
+}
+
+TEST(RelationTest, DistinctValues) {
+  Relation rel(S());
+  ASSERT_TRUE(rel.AppendStrings({"x", "1"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"x", "2"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"y", "1"}).ok());
+  EXPECT_EQ(rel.DistinctValues(0).size(), 2u);
+  EXPECT_EQ(rel.DistinctValues(1).size(), 2u);
+}
+
+TEST(RelationTest, ActiveDomain) {
+  Relation rel(S());
+  ASSERT_TRUE(rel.AppendStrings({"x", "y"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"y", "z"}).ok());
+  EXPECT_EQ(rel.ActiveDomain().size(), 3u);  // x, y, z
+}
+
+TEST(RelationTest, RangeFor) {
+  Relation rel(S());
+  ASSERT_TRUE(rel.AppendStrings({"x", "y"}).ok());
+  size_t n = 0;
+  for (const Tuple& t : rel) {
+    (void)t;
+    ++n;
+  }
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(CsvTest, ParseLineBasic) {
+  Result<std::vector<std::string>> f = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseLineQuoted) {
+  Result<std::vector<std::string>> f = ParseCsvLine("\"a,b\",c");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)[0], "a,b");
+  EXPECT_EQ((*f)[1], "c");
+}
+
+TEST(CsvTest, ParseLineEscapedQuote) {
+  Result<std::vector<std::string>> f = ParseCsvLine("\"he said \"\"hi\"\"\"");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)[0], "he said \"hi\"");
+}
+
+TEST(CsvTest, ParseLineUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsvLine("\"abc").ok());
+}
+
+TEST(CsvTest, FormatRoundTrip) {
+  std::vector<std::string> fields{"plain", "with,comma", "with\"quote"};
+  Result<std::vector<std::string>> back =
+      ParseCsvLine(FormatCsvLine(fields));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, fields);
+}
+
+TEST(CsvTest, ReadWriteRelation) {
+  Relation rel(S());
+  ASSERT_TRUE(rel.AppendStrings({"x,1", "y"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"", "w"}).ok());  // null cell
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(rel, out).ok());
+
+  std::istringstream in(out.str());
+  Result<Relation> rt = ReadCsv(S(), in);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt->size(), 2u);
+  EXPECT_EQ(rt->at(0).at(0).as_string(), "x,1");
+  EXPECT_TRUE(rt->at(1).at(0).is_null());
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  std::istringstream in("a,WRONG\nx,y\n");
+  EXPECT_FALSE(ReadCsv(S(), in).ok());
+}
+
+TEST(CsvTest, ArityMismatchRejected) {
+  std::istringstream in("a,b\nx\n");
+  EXPECT_FALSE(ReadCsv(S(), in).ok());
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  std::istringstream in("");
+  EXPECT_FALSE(ReadCsv(S(), in).ok());
+}
+
+}  // namespace
+}  // namespace certfix

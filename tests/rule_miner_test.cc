@@ -1,0 +1,198 @@
+#include "mining/rule_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/certain_fix.h"
+#include "test_util.h"
+#include "workload/hosp.h"
+
+namespace certfix {
+namespace {
+
+using namespace testing_fixtures;
+
+// A tiny master with clear structure: zip -> {AC, city}; under type = 2,
+// phn -> name (mobile numbers are personal); no unconditional phn -> name
+// (home numbers are shared).
+SchemaPtr MinerSchema() {
+  return Schema::Make(
+      "M", std::vector<std::string>{"zip", "AC", "city", "phn", "type",
+                                    "name"});
+}
+
+Relation MinerMaster() {
+  Relation rel(MinerSchema());
+  // type=1 rows share phn across names (landline); type=2 rows are 1:1.
+  EXPECT_TRUE(rel.AppendStrings({"EH7", "131", "Edi", "555", "1", "Ann"}).ok());
+  EXPECT_TRUE(rel.AppendStrings({"EH7", "131", "Edi", "555", "1", "Bob"}).ok());
+  EXPECT_TRUE(rel.AppendStrings({"NW1", "020", "Lnd", "555", "1", "Cid"}).ok());
+  EXPECT_TRUE(rel.AppendStrings({"NW1", "020", "Lnd", "701", "2", "Dee"}).ok());
+  EXPECT_TRUE(rel.AppendStrings({"G11", "041", "Gla", "702", "2", "Eve"}).ok());
+  EXPECT_TRUE(rel.AppendStrings({"G11", "041", "Gla", "703", "2", "Fay"}).ok());
+  EXPECT_TRUE(rel.AppendStrings({"AB1", "012", "Abd", "704", "2", "Gus"}).ok());
+  return rel;
+}
+
+bool HasDependency(const std::vector<MinedDependency>& deps,
+                   const SchemaPtr& schema, const std::string& x,
+                   const std::string& b, bool conditional = false) {
+  AttrId xa = *schema->IndexOf(x);
+  AttrId ba = *schema->IndexOf(b);
+  for (const MinedDependency& dep : deps) {
+    if (dep.rhs == ba && dep.lhs.size() == 1 && dep.lhs[0] == xa &&
+        dep.IsConditional() == conditional) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(RuleMinerTest, FindsExactFds) {
+  Relation master = MinerMaster();
+  RuleMiner miner(master);
+  std::vector<MinedDependency> deps = miner.MineDependencies();
+  EXPECT_TRUE(HasDependency(deps, master.schema(), "zip", "AC"));
+  EXPECT_TRUE(HasDependency(deps, master.schema(), "zip", "city"));
+  // phn does NOT determine name unconditionally (landline sharing).
+  EXPECT_FALSE(HasDependency(deps, master.schema(), "phn", "name"));
+}
+
+TEST(RuleMinerTest, FindsConditionalDependency) {
+  Relation master = MinerMaster();
+  RuleMinerOptions options;
+  options.min_condition_rows = 3;
+  RuleMiner miner(master, options);
+  std::vector<MinedDependency> deps = miner.MineDependencies();
+  // Under type = 2, phn -> name holds (4 mobile rows, distinct phns).
+  bool found = false;
+  AttrId phn = *master.schema()->IndexOf("phn");
+  AttrId name = *master.schema()->IndexOf("name");
+  AttrId type = *master.schema()->IndexOf("type");
+  for (const MinedDependency& dep : deps) {
+    if (dep.rhs == name && dep.lhs == std::vector<AttrId>{phn} &&
+        dep.IsConditional() && dep.condition_attr == type &&
+        dep.condition_value == Value::Str("2")) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RuleMinerTest, MinimalityPrunesSupersets) {
+  Relation master = MinerMaster();
+  RuleMiner miner(master);
+  std::vector<MinedDependency> deps = miner.MineDependencies();
+  AttrId zip = *master.schema()->IndexOf("zip");
+  AttrId ac = *master.schema()->IndexOf("AC");
+  for (const MinedDependency& dep : deps) {
+    if (dep.rhs == ac && !dep.IsConditional()) {
+      // No lhs strictly containing {zip} may be reported for AC.
+      AttrSet lhs = AttrSet::FromVector(dep.lhs);
+      if (lhs.Contains(zip)) EXPECT_EQ(dep.lhs.size(), 1u);
+    }
+  }
+}
+
+TEST(RuleMinerTest, SupportThresholdFilters) {
+  Relation master = MinerMaster();
+  RuleMinerOptions options;
+  options.min_support = 100;  // unattainable on 7 rows
+  RuleMiner miner(master, options);
+  EXPECT_TRUE(miner.MineDependencies().empty());
+}
+
+TEST(RuleMinerTest, MineRulesMapsByName) {
+  Relation master = MinerMaster();
+  RuleMiner miner(master);
+  Result<RuleSet> rules =
+      miner.MineRules(master.schema(), master.schema());
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  EXPECT_GT(rules->size(), 0u);
+  // Every mined rule must be well-formed and applicable to master rows.
+  MasterIndex index(*rules, master);
+  for (size_t i = 0; i < rules->size(); ++i) {
+    const EditingRule& rule = rules->at(i);
+    bool fires = false;
+    for (const Tuple& tm : master) {
+      if (rule.AppliesTo(tm, tm)) fires = true;
+    }
+    EXPECT_TRUE(fires) << rule.ToString();
+  }
+}
+
+TEST(RuleMinerTest, MinedRulesAreConsistentWithMaster) {
+  // Rules mined FROM consistent master data must yield conflict-free
+  // fixes ON that master data.
+  Relation master = MinerMaster();
+  RuleMiner miner(master);
+  RuleSet rules =
+      std::move(miner.MineRules(master.schema(), master.schema()))
+          .ValueOrDie();
+  MasterIndex index(rules, master);
+  Saturator sat(rules, master, index);
+  for (const Tuple& tm : master) {
+    SaturationResult r =
+        sat.CheckUniqueFix(tm, AttrSet{0, 3, 4});  // zip, phn, type
+    EXPECT_TRUE(r.unique);
+    EXPECT_EQ(r.fixed, tm);  // fixes never diverge from the master row
+  }
+}
+
+TEST(RuleMinerTest, RecoversHospStructure) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  Rng rng(3);
+  Relation master = HospWorkload::MakeMaster(schema, 160, &rng);
+  RuleMinerOptions options;
+  options.mine_conditional = false;  // exact FDs suffice here
+  RuleMiner miner(master, options);
+  std::vector<MinedDependency> deps = miner.MineDependencies();
+  auto has = [&](const std::string& x, const std::string& b) {
+    AttrId xa = *schema->IndexOf(x);
+    AttrId ba = *schema->IndexOf(b);
+    for (const MinedDependency& dep : deps) {
+      if (dep.rhs == ba && dep.lhs == std::vector<AttrId>{xa}) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("zip", "ST"));
+  EXPECT_TRUE(has("zip", "city"));
+  EXPECT_TRUE(has("id", "hName"));
+  EXPECT_TRUE(has("mCode", "condition"));
+  EXPECT_TRUE(has("provider", "id"));
+}
+
+TEST(RuleMinerTest, MinedRulesDriveTheEngine) {
+  // End-to-end: mine rules from the supplier master (same-schema view)
+  // and fix a dirty tuple with them.
+  Relation master = MinerMaster();
+  RuleMiner miner(master);
+  RuleSet rules =
+      std::move(miner.MineRules(master.schema(), master.schema()))
+          .ValueOrDie();
+  CertainFixEngine engine(std::move(rules), master, CertainFixOptions{});
+
+  Tuple truth = master.at(3);  // (NW1, 020, Lnd, 701, 2, Dee)
+  Tuple dirty = truth;
+  dirty.Set(*master.schema()->IndexOf("city"), Value::Str("WRONG"));
+  dirty.Set(*master.schema()->IndexOf("AC"), Value::Str("999"));
+  GroundTruthUser user(truth);
+  FixOutcome outcome = engine.Fix(dirty, &user);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.fixed, truth);
+}
+
+TEST(RuleMinerTest, EmptyMasterYieldsNothing) {
+  Relation empty(MinerSchema());
+  RuleMiner miner(empty);
+  EXPECT_TRUE(miner.MineDependencies().empty());
+}
+
+TEST(RuleMinerTest, SchemaMismatchRejected) {
+  Relation master = MinerMaster();
+  RuleMiner miner(master);
+  SchemaPtr other = Schema::Make("O", std::vector<std::string>{"x"});
+  EXPECT_FALSE(miner.MineRules(other, other).ok());
+}
+
+}  // namespace
+}  // namespace certfix

@@ -1,0 +1,120 @@
+#include "solver/sat.h"
+
+#include <gtest/gtest.h>
+
+namespace certfix {
+namespace {
+
+TEST(CnfTest, SatisfiedEvaluation) {
+  CnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {{1, -2, 3}, {-1, 2, 3}};
+  EXPECT_TRUE(f.Satisfied({true, true, false}));
+  EXPECT_FALSE(f.Satisfied({false, true, false}));
+}
+
+TEST(CnfTest, ToStringReadable) {
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{1, -2}};
+  EXPECT_EQ(f.ToString(), "(x1 v !x2)");
+}
+
+TEST(DpllTest, SatisfiableFormula) {
+  CnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {{1, 2, 3}, {-1, 2, 3}, {1, -2, 3}, {1, 2, -3}};
+  DpllSolver solver;
+  auto model = solver.Solve(f);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(f.Satisfied(*model));
+}
+
+TEST(DpllTest, UnsatisfiableFormula) {
+  // All eight sign combinations over three variables: unsatisfiable.
+  CnfFormula f;
+  f.num_vars = 3;
+  for (int bits = 0; bits < 8; ++bits) {
+    Clause c;
+    for (int v = 1; v <= 3; ++v) {
+      c.push_back(((bits >> (v - 1)) & 1) ? v : -v);
+    }
+    f.clauses.push_back(c);
+  }
+  DpllSolver solver;
+  EXPECT_FALSE(solver.Solve(f).has_value());
+}
+
+TEST(DpllTest, EmptyFormulaSat) {
+  CnfFormula f;
+  f.num_vars = 2;
+  DpllSolver solver;
+  EXPECT_TRUE(solver.Solve(f).has_value());
+}
+
+TEST(DpllTest, UnitPropagationChains) {
+  // x1; !x1 v x2; !x2 v x3  =>  all true.
+  CnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {{1}, {-1, 2}, {-2, 3}};
+  DpllSolver solver;
+  auto model = solver.Solve(f);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE((*model)[0]);
+  EXPECT_TRUE((*model)[1]);
+  EXPECT_TRUE((*model)[2]);
+}
+
+TEST(DpllTest, ContradictoryUnits) {
+  CnfFormula f;
+  f.num_vars = 1;
+  f.clauses = {{1}, {-1}};
+  DpllSolver solver;
+  EXPECT_FALSE(solver.Solve(f).has_value());
+}
+
+TEST(DpllTest, CountModelsSmall) {
+  // x1 v x2 over two variables: 3 models.
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{1, 2}};
+  EXPECT_EQ(DpllSolver::CountModels(f), 3u);
+  // Tautology-free empty formula: all 4.
+  CnfFormula g;
+  g.num_vars = 2;
+  EXPECT_EQ(DpllSolver::CountModels(g), 4u);
+}
+
+TEST(DpllTest, SolveAgreesWithCountOnRandomInstances) {
+  Rng rng(2024);
+  DpllSolver solver;
+  for (int trial = 0; trial < 60; ++trial) {
+    CnfFormula f =
+        RandomThreeSat(4 + static_cast<int>(rng.Uniform(0, 3)),
+                       static_cast<int>(rng.Uniform(3, 20)), &rng);
+    bool sat = solver.Solve(f).has_value();
+    uint64_t models = DpllSolver::CountModels(f);
+    EXPECT_EQ(sat, models > 0) << f.ToString();
+  }
+}
+
+TEST(RandomThreeSatTest, ShapeInvariants) {
+  Rng rng(7);
+  CnfFormula f = RandomThreeSat(6, 12, &rng);
+  EXPECT_EQ(f.num_vars, 6);
+  EXPECT_EQ(f.clauses.size(), 12u);
+  for (const Clause& c : f.clauses) {
+    ASSERT_EQ(c.size(), 3u);
+    // Three distinct variables.
+    EXPECT_NE(std::abs(c[0]), std::abs(c[1]));
+    EXPECT_NE(std::abs(c[0]), std::abs(c[2]));
+    EXPECT_NE(std::abs(c[1]), std::abs(c[2]));
+    for (Literal lit : c) {
+      EXPECT_GE(std::abs(lit), 1);
+      EXPECT_LE(std::abs(lit), 6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace certfix

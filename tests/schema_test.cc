@@ -1,0 +1,111 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/attr_set.h"
+
+namespace certfix {
+namespace {
+
+TEST(SchemaTest, BasicAccessors) {
+  SchemaPtr s = Schema::Make("R", std::vector<std::string>{"a", "b", "c"});
+  EXPECT_EQ(s->name(), "R");
+  EXPECT_EQ(s->num_attrs(), 3u);
+  EXPECT_EQ(s->attr_name(1), "b");
+  EXPECT_EQ(s->attr_type(0), DataType::kString);
+}
+
+TEST(SchemaTest, IndexOf) {
+  SchemaPtr s = Schema::Make("R", std::vector<std::string>{"a", "b"});
+  Result<AttrId> id = s->IndexOf("b");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1u);
+  EXPECT_FALSE(s->IndexOf("zzz").ok());
+  EXPECT_EQ(s->IndexOf("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, Has) {
+  SchemaPtr s = Schema::Make("R", std::vector<std::string>{"x"});
+  EXPECT_TRUE(s->Has("x"));
+  EXPECT_FALSE(s->Has("y"));
+}
+
+TEST(SchemaTest, Resolve) {
+  SchemaPtr s = Schema::Make("R", std::vector<std::string>{"a", "b", "c"});
+  Result<std::vector<AttrId>> ids = s->Resolve({"c", "a"});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<AttrId>{2, 0}));
+  EXPECT_FALSE(s->Resolve({"a", "nope"}).ok());
+}
+
+TEST(SchemaTest, TypedAttributes) {
+  SchemaPtr s = Schema::Make(
+      "R", std::vector<Attribute>{{"n", DataType::kInt},
+                                  {"x", DataType::kDouble},
+                                  {"s", DataType::kString}});
+  EXPECT_EQ(s->attr_type(0), DataType::kInt);
+  EXPECT_EQ(s->attr_type(1), DataType::kDouble);
+}
+
+TEST(SchemaTest, Equals) {
+  SchemaPtr a = Schema::Make("R", std::vector<std::string>{"x", "y"});
+  SchemaPtr b = Schema::Make("R", std::vector<std::string>{"x", "y"});
+  SchemaPtr c = Schema::Make("R", std::vector<std::string>{"x", "z"});
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(SchemaTest, AllAttrs) {
+  SchemaPtr s = Schema::Make("R", std::vector<std::string>{"a", "b", "c"});
+  EXPECT_EQ(s->AllAttrs().Count(), 3);
+  EXPECT_TRUE(s->AllAttrs().Contains(2));
+  EXPECT_FALSE(s->AllAttrs().Contains(3));
+}
+
+TEST(AttrSetTest, AddRemoveContains) {
+  AttrSet s;
+  EXPECT_TRUE(s.Empty());
+  s.Add(3);
+  s.Add(10);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 2);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  AttrSet a{1, 2, 3};
+  AttrSet b{3, 4};
+  EXPECT_EQ(a.Union(b).Count(), 4);
+  EXPECT_EQ(a.Intersect(b).Count(), 1);
+  EXPECT_TRUE(a.Intersect(b).Contains(3));
+  EXPECT_EQ(a.Minus(b).Count(), 2);
+  EXPECT_TRUE(AttrSet({1, 2}).SubsetOf(a));
+  EXPECT_FALSE(a.SubsetOf(b));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(AttrSet({9}).Intersects(a));
+}
+
+TEST(AttrSetTest, AllUpTo) {
+  AttrSet s = AttrSet::AllUpTo(5);
+  EXPECT_EQ(s.Count(), 5);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(5));
+  EXPECT_EQ(AttrSet::AllUpTo(64).Count(), 64);
+  EXPECT_EQ(AttrSet::AllUpTo(0).Count(), 0);
+}
+
+TEST(AttrSetTest, ToVectorAscending) {
+  AttrSet s{9, 1, 4};
+  EXPECT_EQ(s.ToVector(), (std::vector<AttrId>{1, 4, 9}));
+}
+
+TEST(AttrSetTest, FromVector) {
+  AttrSet s = AttrSet::FromVector({2, 2, 5});
+  EXPECT_EQ(s.Count(), 2);
+}
+
+}  // namespace
+}  // namespace certfix

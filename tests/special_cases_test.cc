@@ -1,0 +1,210 @@
+/// \file special_cases_test.cc
+/// \brief The Sect. 4 special-case matrix (Table 3) exercised end to end:
+/// direct fixes, positive/concrete tableaux, fixed Sigma, and the
+/// Theorem 14 observation that the set-cover reduction produces *direct*
+/// rules (so Z-minimum stays NP-hard even for direct fixes).
+
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/coverage.h"
+#include "core/direct_fix.h"
+#include "core/zproblems.h"
+#include "solver/reductions.h"
+#include "test_util.h"
+
+namespace certfix {
+namespace {
+
+using namespace testing_fixtures;
+
+TEST(SpecialCasesTest, SetCoverReductionRulesAreDirect) {
+  // Theorem 14: the Thm 12 reduction uses pattern-free rules, which are
+  // direct by definition — the same instances witness hardness for the
+  // direct-fix Z-minimum problem.
+  SetCoverInstance sc;
+  sc.universe = 3;
+  sc.sets = {{0, 1}, {1, 2}, {0, 1, 2}};
+  ZInstance inst = ReduceSetCoverToZMinimum(sc);
+  EXPECT_TRUE(inst.rules.AllDirect());
+  DirectFixChecker checker(inst.rules, inst.dm);
+  EXPECT_TRUE(checker.ValidateShape().ok());
+}
+
+TEST(SpecialCasesTest, DirectSemanticsStrictlyWeakerOnReduction) {
+  // The direct-fix semantics forbids region extension (Sect. 4.1 case
+  // (5b)). On the set-cover reduction with Z = {C4} (the all-elements
+  // set), the GENERAL semantics covers everything: the element copies are
+  // fixed from C4, the region extends, and the back rules re-cover
+  // C1..C3. The DIRECT semantics cannot reach C1..C3 (their back rules'
+  // premises are the 20 copy attributes, never inside Z), so the same
+  // region is certain generally but not directly — exactly why Thm 14
+  // needs its own reduction in the paper's appendix.
+  SetCoverInstance sc;
+  sc.universe = 3;
+  sc.sets = {{0}, {1}, {2}, {0, 1, 2}};
+  ZInstance inst = ReduceSetCoverToZMinimum(sc);
+  std::vector<AttrId> z = {3};  // C4
+  PatternTuple tc(inst.r);
+  tc.SetConst(3, Value::Int(1));
+
+  DirectFixChecker direct(inst.rules, inst.dm);
+  Result<bool> direct_certain = direct.IsCertainRegion(z, tc);
+  ASSERT_TRUE(direct_certain.ok()) << direct_certain.status();
+  EXPECT_FALSE(*direct_certain);
+
+  MasterIndex index(inst.rules, inst.dm);
+  Saturator sat(inst.rules, inst.dm, index);
+  CoverageChecker general(sat);
+  Region region = Region::Of(inst.r, z);
+  ASSERT_TRUE(region.AddRow(tc).ok());
+  Result<bool> general_certain = general.IsCertainRegion(region);
+  ASSERT_TRUE(general_certain.ok()) << general_certain.status();
+  EXPECT_TRUE(*general_certain);
+}
+
+// Direct-fix inconsistency implies general inconsistency: a same-region
+// conflict between two Sigma_Z rules is visible to the saturation checker
+// in its first round. Random direct instances.
+class DirectImpliesGeneralTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(DirectImpliesGeneralTest, Holds) {
+  Rng rng(GetParam() * 917 + 11);
+  // Random direct rules over small schemas and a small master.
+  SchemaPtr r = Schema::Make(
+      "R", std::vector<Attribute>{{"a0", DataType::kInt},
+                                  {"a1", DataType::kInt},
+                                  {"a2", DataType::kInt},
+                                  {"a3", DataType::kInt},
+                                  {"a4", DataType::kInt}});
+  SchemaPtr rm = Schema::Make(
+      "Rm", std::vector<Attribute>{{"m0", DataType::kInt},
+                                   {"m1", DataType::kInt},
+                                   {"m2", DataType::kInt},
+                                   {"m3", DataType::kInt}});
+  Relation dm(rm);
+  for (int row = 0; row < 5; ++row) {
+    Tuple t(rm);
+    for (AttrId a = 0; a < 4; ++a) t.Set(a, Value::Int(rng.Uniform(0, 2)));
+    ASSERT_TRUE(dm.Append(std::move(t)).ok());
+  }
+  RuleSet rules(r, rm);
+  for (int i = 0; i < 5; ++i) {
+    AttrId x = static_cast<AttrId>(rng.Index(5));
+    AttrId b = static_cast<AttrId>(rng.Index(5));
+    if (x == b) continue;
+    // Direct shape: pattern (if any) on the lhs attribute itself.
+    PatternTuple tp(r);
+    if (rng.Bernoulli(0.3)) tp.SetConst(x, Value::Int(rng.Uniform(0, 2)));
+    Result<EditingRule> rule = EditingRule::Make(
+        "d" + std::to_string(i), r, rm, {x},
+        {static_cast<AttrId>(rng.Index(4))}, b,
+        static_cast<AttrId>(rng.Index(4)), std::move(tp));
+    if (rule.ok()) {
+      ASSERT_TRUE(rules.Add(std::move(rule).ValueOrDie()).ok());
+    }
+  }
+  if (rules.empty()) GTEST_SKIP();
+
+  // Random concrete region over a random Z.
+  std::vector<AttrId> z;
+  PatternTuple tc(r);
+  for (AttrId a = 0; a < 5; ++a) {
+    if (rng.Bernoulli(0.5)) {
+      z.push_back(a);
+      tc.SetConst(a, Value::Int(rng.Uniform(0, 2)));
+    }
+  }
+  if (z.empty()) GTEST_SKIP();
+
+  DirectFixChecker direct(rules, dm);
+  Result<bool> direct_ok = direct.IsConsistent(z, tc);
+  ASSERT_TRUE(direct_ok.ok()) << direct_ok.status();
+
+  MasterIndex index(rules, dm);
+  Saturator sat(rules, dm, index);
+  ConsistencyChecker general(sat);
+  Region region = Region::Of(r, z);
+  ASSERT_TRUE(region.AddRow(tc).ok());
+  Result<bool> general_ok = general.IsConsistent(region);
+  ASSERT_TRUE(general_ok.ok()) << general_ok.status();
+
+  if (!*direct_ok) {
+    EXPECT_FALSE(*general_ok)
+        << "direct-fix conflict invisible to the general checker";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDirect, DirectImpliesGeneralTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(SpecialCasesTest, TableauClassificationDrivesCheckerPath) {
+  // Concrete rows use the PTIME path even with tight instantiation
+  // budgets; wildcard rows on mentioned attributes need the enumeration
+  // budget (Thm 4 vs Thm 1 in practice).
+  SchemaPtr r = SupplierSchema();
+  SchemaPtr rm = SupplierMasterSchema();
+  Relation dm = SupplierMaster(rm);
+  RuleSet rules = SupplierRules(r, rm);
+  MasterIndex index(rules, dm);
+  Saturator sat(rules, dm, index);
+  ConsistencyChecker checker(sat);
+
+  Region concrete = Region::Of(r, Attrs(r, {"zip"}).ToVector());
+  PatternTuple row(r);
+  row.SetConst(A(r, "zip"), Value::Str("EH7 4AH"));
+  ASSERT_TRUE(concrete.AddRow(row).ok());
+  Result<bool> ok = checker.IsConsistent(concrete, /*max_instances=*/1);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+
+  Region wild = Region::Of(r, Attrs(r, {"zip"}).ToVector());
+  ASSERT_TRUE(wild.AddRow(PatternTuple(r)).ok());
+  EXPECT_FALSE(checker.IsConsistent(wild, /*max_instances=*/1).ok());
+}
+
+TEST(SpecialCasesTest, FixedSigmaZProblemsPolynomialShape) {
+  // Proposition 8/11/15 in practice: with Sigma fixed (the supplier
+  // rules), the Z-problem enumerations complete within a small budget.
+  SchemaPtr r = SupplierSchema();
+  SchemaPtr rm = SupplierMasterSchema();
+  Relation dm = SupplierMaster(rm);
+  RuleSet rules = SupplierRules(r, rm);
+  MasterIndex index(rules, dm);
+  Saturator sat(rules, dm, index);
+  ZProblems z(sat);
+  ZOptions opts;
+  opts.use_negations = false;
+  opts.max_patterns = 2000000;
+  Result<std::optional<std::vector<AttrId>>> zmin = z.MinimumExact(4, opts);
+  ASSERT_TRUE(zmin.ok()) << zmin.status();
+  EXPECT_TRUE(zmin->has_value());
+}
+
+TEST(SpecialCasesTest, PositiveTableauStillGeneralComplexity) {
+  // Corollary 3: positivity of Tc does not simplify the analysis — our
+  // checker treats positive wildcard rows with the same enumeration
+  // machinery (correctness spot-check on a positive 2-row tableau).
+  SchemaPtr r = SupplierSchema();
+  SchemaPtr rm = SupplierMasterSchema();
+  Relation dm = SupplierMaster(rm);
+  RuleSet rules = SupplierRules(r, rm);
+  MasterIndex index(rules, dm);
+  Saturator sat(rules, dm, index);
+  ConsistencyChecker checker(sat);
+  Region region = Region::Of(r, Attrs(r, {"zip", "type"}).ToVector());
+  for (const char* type : {"1", "2"}) {
+    PatternTuple row(r);
+    row.SetConst(A(r, "type"), Value::Str(type));
+    ASSERT_TRUE(region.AddRow(row).ok());  // zip stays wildcard: positive
+  }
+  EXPECT_TRUE(region.tableau().IsPositive());
+  EXPECT_FALSE(region.tableau().IsConcrete());
+  Result<bool> ok = checker.IsConsistent(region);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+}
+
+}  // namespace
+}  // namespace certfix

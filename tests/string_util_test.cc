@@ -1,0 +1,103 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "util/edit_distance.h"
+
+namespace certfix {
+namespace {
+
+TEST(SplitTest, Basic) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(TrimTest, BothEnds) { EXPECT_EQ(Trim("  x y  "), "x y"); }
+TEST(TrimTest, Empty) { EXPECT_EQ(Trim("   "), ""); }
+TEST(TrimTest, NoWhitespace) { EXPECT_EQ(Trim("abc"), "abc"); }
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("rule phi1", "rule"));
+  EXPECT_FALSE(StartsWith("rul", "rule"));
+}
+
+TEST(ToLowerTest, Basic) { EXPECT_EQ(ToLower("EdI"), "edi"); }
+
+TEST(IsIntegerTest, Accepts) {
+  EXPECT_TRUE(IsInteger("0"));
+  EXPECT_TRUE(IsInteger("-12"));
+  EXPECT_TRUE(IsInteger("+7"));
+  EXPECT_TRUE(IsInteger(" 42 "));
+}
+
+TEST(IsIntegerTest, Rejects) {
+  EXPECT_FALSE(IsInteger(""));
+  EXPECT_FALSE(IsInteger("-"));
+  EXPECT_FALSE(IsInteger("1.5"));
+  EXPECT_FALSE(IsInteger("12a"));
+}
+
+TEST(IsDoubleTest, Accepts) {
+  EXPECT_TRUE(IsDouble("1.5"));
+  EXPECT_TRUE(IsDouble("-0.25"));
+  EXPECT_TRUE(IsDouble("1e3"));
+}
+
+TEST(IsDoubleTest, Rejects) {
+  EXPECT_FALSE(IsDouble(""));
+  EXPECT_FALSE(IsDouble("abc"));
+  EXPECT_FALSE(IsDouble("1.2.3"));
+}
+
+TEST(EditDistanceTest, Identity) { EXPECT_EQ(EditDistance("abc", "abc"), 0u); }
+
+TEST(EditDistanceTest, Substitution) {
+  EXPECT_EQ(EditDistance("kitten", "sitten"), 1u);
+}
+
+TEST(EditDistanceTest, ClassicKittenSitting) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+}
+
+TEST(EditDistanceTest, EmptySides) {
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("Lnd", "Edi"), EditDistance("Edi", "Lnd"));
+}
+
+TEST(NormalizedEditDistanceTest, Range) {
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "xyz"), 1.0);
+  double d = NormalizedEditDistance("kitten", "sitting");
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+}  // namespace
+}  // namespace certfix

@@ -1,0 +1,120 @@
+#include "core/suggest.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace certfix {
+namespace {
+
+using namespace testing_fixtures;
+
+class SuggestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = SupplierSchema();
+    rm_ = SupplierMasterSchema();
+    dm_ = SupplierMaster(rm_);
+    rules_ = SupplierRules(r_, rm_);
+    suggester_ = std::make_unique<Suggester>(rules_, dm_);
+  }
+
+  SchemaPtr r_;
+  SchemaPtr rm_;
+  Relation dm_;
+  RuleSet rules_;
+  std::unique_ptr<Suggester> suggester_;
+};
+
+TEST_F(SuggestTest, Example13Suggestion) {
+  // Example 13: after t1[zip, AC, str, city] is fixed, S = {phn, type,
+  // item} is a suggestion (covering fn/ln via phi4-5 and item by the
+  // user).
+  Tuple t1 = T1(r_);
+  t1.Set(A(r_, "AC"), Value::Str("131"));
+  t1.Set(A(r_, "str"), Value::Str("51 Elm Row"));
+  AttrSet z = Attrs(r_, {"zip", "AC", "str", "city"});
+
+  AttrSet s = suggester_->Suggest(t1, z);
+  EXPECT_EQ(s, Attrs(r_, {"phn", "type", "item"}));
+}
+
+TEST_F(SuggestTest, IsSuggestionAcceptsExample13) {
+  Tuple t1 = T1(r_);
+  t1.Set(A(r_, "AC"), Value::Str("131"));
+  t1.Set(A(r_, "str"), Value::Str("51 Elm Row"));
+  AttrSet z = Attrs(r_, {"zip", "AC", "str", "city"});
+  EXPECT_TRUE(
+      suggester_->IsSuggestion(t1, z, Attrs(r_, {"phn", "type", "item"})));
+}
+
+TEST_F(SuggestTest, IsSuggestionRejectsInsufficientSet) {
+  Tuple t1 = T1(r_);
+  AttrSet z = Attrs(r_, {"zip", "AC", "str", "city"});
+  // {phn} alone cannot cover fn/ln (type missing) nor item.
+  EXPECT_FALSE(suggester_->IsSuggestion(t1, z, Attrs(r_, {"phn"})));
+}
+
+TEST_F(SuggestTest, IsSuggestionTrivialFullSet) {
+  Tuple t1 = T1(r_);
+  AttrSet z = Attrs(r_, {"zip"});
+  AttrSet rest = r_->AllAttrs().Minus(z);
+  EXPECT_TRUE(suggester_->IsSuggestion(t1, z, rest));
+}
+
+TEST_F(SuggestTest, IsSuggestionRejectsEmpty) {
+  Tuple t1 = T1(r_);
+  EXPECT_FALSE(suggester_->IsSuggestion(t1, Attrs(r_, {"zip"}), AttrSet()));
+}
+
+TEST_F(SuggestTest, EmptyZSuggestionCoversEverythingNeeded) {
+  Tuple t1 = T1(r_);
+  AttrSet s = suggester_->Suggest(t1, AttrSet());
+  // The suggestion plus derivable attributes must cover R.
+  ApplicableRules applicable = suggester_->Applicable(t1, AttrSet());
+  AttrSet closure = s;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const EditingRule& rule : applicable.rules) {
+      if (!closure.Contains(rule.rhs()) &&
+          rule.premise_set().SubsetOf(closure)) {
+        closure.Add(rule.rhs());
+        changed = true;
+      }
+    }
+  }
+  EXPECT_EQ(closure, r_->AllAttrs());
+}
+
+TEST_F(SuggestTest, FullyValidatedNeedsNothing) {
+  Tuple t1 = T1Truth(r_);
+  AttrSet s = suggester_->Suggest(t1, r_->AllAttrs());
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST_F(SuggestTest, NoMasterMatchFallsBackToRest) {
+  // t4 matches nothing in Dm: the only safe suggestion is everything
+  // not yet validated.
+  Tuple t4 = T4(r_);
+  AttrSet z = Attrs(r_, {"zip", "AC", "phn", "type"});
+  AttrSet s = suggester_->Suggest(t4, z);
+  EXPECT_EQ(s, r_->AllAttrs().Minus(z));
+}
+
+TEST_F(SuggestTest, SuggestionsNeverIncludeValidatedAttrs) {
+  for (const Tuple& t : {T1(r_), T2(r_), T3(r_)}) {
+    for (const auto& names :
+         {std::vector<std::string>{"zip"},
+          std::vector<std::string>{"zip", "AC", "str", "city"},
+          std::vector<std::string>{"type", "AC", "phn"}}) {
+      AttrSet z = Attrs(r_, names);
+      AttrSet s = suggester_->Suggest(t, z);
+      EXPECT_FALSE(s.Intersects(z))
+          << "suggestion overlaps validated set for " << t.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace certfix

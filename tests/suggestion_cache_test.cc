@@ -1,0 +1,122 @@
+#include "core/suggestion_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace certfix {
+namespace {
+
+TEST(SuggestionCacheTest, EmptyLookupMisses) {
+  SuggestionCache cache;
+  SuggestionCache::Cursor cursor = cache.Root();
+  auto hit = cache.Lookup(&cursor, [](const AttrSet&) { return true; });
+  EXPECT_FALSE(hit.has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.num_nodes(), 0u);
+}
+
+TEST(SuggestionCacheTest, InsertThenHit) {
+  SuggestionCache cache;
+  SuggestionCache::Cursor c1 = cache.Root();
+  cache.Insert(&c1, AttrSet{1, 2});
+  // A new tuple starts at the root and finds the cached suggestion.
+  SuggestionCache::Cursor c2 = cache.Root();
+  auto hit = cache.Lookup(&c2, [](const AttrSet& s) { return s.Contains(1); });
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (AttrSet{1, 2}));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(SuggestionCacheTest, FalseChainSearchedInOrder) {
+  // Fig. 7: suggestions rejected by the predicate are chained on the
+  // false branch; the first acceptable one wins.
+  SuggestionCache cache;
+  SuggestionCache::Cursor c = cache.Root();
+  cache.Insert(&c, AttrSet{1});
+  SuggestionCache::Cursor c2 = cache.Root();
+  // Reject {1}: miss, insert {2} as its false-sibling.
+  auto miss = cache.Lookup(&c2, [](const AttrSet& s) { return s.Contains(2); });
+  EXPECT_FALSE(miss.has_value());
+  cache.Insert(&c2, AttrSet{2});
+
+  SuggestionCache::Cursor c3 = cache.Root();
+  auto hit = cache.Lookup(&c3, [](const AttrSet& s) { return s.Contains(2); });
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (AttrSet{2}));
+  EXPECT_EQ(cache.stats().checks, 1u + 2u);  // reject; then reject + hit
+}
+
+TEST(SuggestionCacheTest, TrueBranchFormsNextLevel) {
+  // Fig. 7b: after a hit the next round's suggestions live on the hit
+  // node's true branch, independent of the root level.
+  SuggestionCache cache;
+  SuggestionCache::Cursor c = cache.Root();
+  cache.Insert(&c, AttrSet{1});   // round-1 suggestion
+  cache.Insert(&c, AttrSet{9});   // round-2 suggestion under {1}
+
+  // Replay: hit {1} at the root, then {9} on its true branch.
+  SuggestionCache::Cursor replay = cache.Root();
+  auto h1 = cache.Lookup(&replay, [](const AttrSet& s) { return s.Contains(1); });
+  ASSERT_TRUE(h1.has_value());
+  auto h2 = cache.Lookup(&replay, [](const AttrSet& s) { return s.Contains(9); });
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(*h2, (AttrSet{9}));
+
+  // The root level must NOT contain {9}.
+  SuggestionCache::Cursor root_again = cache.Root();
+  auto no9 = cache.Lookup(&root_again,
+                          [](const AttrSet& s) { return s.Contains(9); });
+  EXPECT_FALSE(no9.has_value());
+}
+
+TEST(SuggestionCacheTest, StatsAccumulateAndReset) {
+  SuggestionCache cache;
+  SuggestionCache::Cursor c = cache.Root();
+  cache.Insert(&c, AttrSet{1});
+  SuggestionCache::Cursor c2 = cache.Root();
+  cache.Lookup(&c2, [](const AttrSet&) { return true; });
+  cache.Lookup(&c2, [](const AttrSet&) { return true; });  // empty level
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(SuggestionCacheTest, ClearDropsNodes) {
+  SuggestionCache cache;
+  SuggestionCache::Cursor c = cache.Root();
+  cache.Insert(&c, AttrSet{1});
+  EXPECT_EQ(cache.num_nodes(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.num_nodes(), 0u);
+  SuggestionCache::Cursor c2 = cache.Root();
+  EXPECT_FALSE(cache.Lookup(&c2, [](const AttrSet&) { return true; })
+                   .has_value());
+}
+
+TEST(SuggestionCacheTest, DeepChainsAndLevels) {
+  SuggestionCache cache;
+  // Build 5 levels each with 3 siblings.
+  SuggestionCache::Cursor c = cache.Root();
+  for (uint32_t level = 0; level < 5; ++level) {
+    for (uint32_t sib = 0; sib < 2; ++sib) {
+      SuggestionCache::Cursor probe = c;
+      cache.Lookup(&probe, [](const AttrSet&) { return false; });
+      cache.Insert(&probe, AttrSet{level * 10 + sib});
+    }
+    // Final sibling is the one we descend through.
+    cache.Lookup(&c, [](const AttrSet&) { return false; });
+    cache.Insert(&c, AttrSet{level * 10 + 9});
+  }
+  EXPECT_EQ(cache.num_nodes(), 15u);
+  // Replay the winning path.
+  SuggestionCache::Cursor replay = cache.Root();
+  for (uint32_t level = 0; level < 5; ++level) {
+    auto hit = cache.Lookup(&replay, [&](const AttrSet& s) {
+      return s.Contains(level * 10 + 9);
+    });
+    ASSERT_TRUE(hit.has_value()) << "level " << level;
+  }
+}
+
+}  // namespace
+}  // namespace certfix

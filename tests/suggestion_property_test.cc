@@ -1,0 +1,139 @@
+/// \file suggestion_property_test.cc
+/// \brief Parameterized end-to-end invariants of the interactive engine
+/// over randomized HOSP streams: suggestions are sound (IsSuggestion
+/// accepts what Suggest emits), every completed fix is correct for
+/// duplicates, and the cached path is outcome-equivalent to the uncached
+/// one.
+
+#include <gtest/gtest.h>
+
+#include "core/certain_fix.h"
+#include "workload/dirty_gen.h"
+#include "workload/hosp.h"
+
+namespace certfix {
+namespace {
+
+struct Setup2 {
+  SchemaPtr schema;
+  Relation master;
+  Relation non_master;
+  RuleSet rules;
+};
+
+Setup2 MakeSetup(uint64_t seed) {
+  Setup2 s;
+  s.schema = HospWorkload::MakeSchema();
+  Rng rng(seed);
+  s.master = HospWorkload::MakeMaster(s.schema, 300, &rng);
+  Rng rng2(seed * 7 + 1);
+  s.non_master = HospWorkload::MakeMaster(s.schema, 150, &rng2, 1000000);
+  s.rules = HospWorkload::MakeRules(s.schema);
+  return s;
+}
+
+class SuggestionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SuggestionPropertyTest, SuggestOutputsAreAcceptedByIsSuggestion) {
+  Setup2 s = MakeSetup(GetParam());
+  MasterIndex index(s.rules, s.master);
+  Suggester suggester(s.rules, s.master, &index);
+  Saturator sat(s.rules, s.master, index);
+
+  DirtyGenOptions gen_options;
+  gen_options.seed = GetParam() * 3 + 1;
+  DirtyGenerator gen(s.master, s.non_master, gen_options);
+  Rng rng(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    DirtyPair pair = gen.Next();
+    // Random validated set with truth values (as after user assertions).
+    AttrSet z;
+    Tuple t = pair.dirty;
+    for (AttrId a = 0; a < s.schema->num_attrs(); ++a) {
+      if (rng.Bernoulli(0.3)) {
+        z.Add(a);
+        t.Set(a, pair.clean.at(a));
+      }
+    }
+    if (z == s.schema->AllAttrs()) continue;
+    AttrSet sugg = suggester.Suggest(t, z);
+    EXPECT_FALSE(sugg.Intersects(z));
+    EXPECT_FALSE(sugg.Empty());
+    EXPECT_TRUE(suggester.IsSuggestion(t, z, sugg))
+        << "Suggest emitted a set its own re-check rejects";
+  }
+}
+
+TEST_P(SuggestionPropertyTest, DuplicatesFixedToTruth) {
+  Setup2 s = MakeSetup(GetParam() * 11 + 2);
+  CertainFixEngine engine(s.rules, s.master, CertainFixOptions{});
+  DirtyGenOptions gen_options;
+  gen_options.duplicate_rate = 1.0;
+  gen_options.noise_rate = 0.3;
+  gen_options.seed = GetParam();
+  DirtyGenerator gen(s.master, s.non_master, gen_options);
+  for (int i = 0; i < 15; ++i) {
+    DirtyPair pair = gen.Next();
+    GroundTruthUser user(pair.clean);
+    FixOutcome outcome = engine.Fix(pair.dirty, &user);
+    ASSERT_TRUE(outcome.completed);
+    EXPECT_FALSE(outcome.conflict);
+    EXPECT_EQ(outcome.fixed, pair.clean);
+    // Every rule-written value equals the truth (certainty).
+    for (AttrId a : outcome.auto_fixed.ToVector()) {
+      EXPECT_EQ(outcome.fixed.at(a), pair.clean.at(a));
+    }
+  }
+}
+
+TEST_P(SuggestionPropertyTest, CachedAndUncachedOutcomesAgree) {
+  Setup2 s = MakeSetup(GetParam() * 13 + 5);
+  CertainFixOptions with;
+  with.use_cache = true;
+  CertainFixOptions without;
+  without.use_cache = false;
+  CertainFixEngine cached(s.rules, s.master, with);
+  CertainFixEngine plain(s.rules, s.master, without);
+
+  DirtyGenOptions gen_options;
+  gen_options.seed = GetParam() * 5 + 3;
+  DirtyGenerator gen(s.master, s.non_master, gen_options);
+  for (int i = 0; i < 10; ++i) {
+    DirtyPair pair = gen.Next();
+    GroundTruthUser u1(pair.clean);
+    GroundTruthUser u2(pair.clean);
+    FixOutcome a = cached.Fix(pair.dirty, &u1);
+    FixOutcome b = plain.Fix(pair.dirty, &u2);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.fixed, b.fixed);
+  }
+}
+
+TEST_P(SuggestionPropertyTest, UserEffortBoundedByInitialRegionPlusRest) {
+  // The engine never asks the user for more than |R| attribute
+  // assertions in total, and asserted sets across rounds are disjoint.
+  Setup2 s = MakeSetup(GetParam() * 17 + 7);
+  CertainFixEngine engine(s.rules, s.master, CertainFixOptions{});
+  DirtyGenOptions gen_options;
+  gen_options.seed = GetParam() * 9 + 2;
+  DirtyGenerator gen(s.master, s.non_master, gen_options);
+  for (int i = 0; i < 10; ++i) {
+    DirtyPair pair = gen.Next();
+    GroundTruthUser user(pair.clean);
+    FixOutcome outcome = engine.Fix(pair.dirty, &user);
+    size_t total_asserted = 0;
+    AttrSet seen;
+    for (const RoundRecord& round : outcome.rounds) {
+      EXPECT_FALSE(round.asserted.Intersects(seen));
+      seen = seen.Union(round.asserted);
+      total_asserted += static_cast<size_t>(round.asserted.Count());
+    }
+    EXPECT_LE(total_asserted, s.schema->num_attrs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuggestionPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace certfix

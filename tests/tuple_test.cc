@@ -1,0 +1,103 @@
+#include "relational/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace certfix {
+namespace {
+
+SchemaPtr S() { return Schema::Make("R", std::vector<std::string>{"a", "b", "c"}); }
+
+TEST(TupleTest, FromStrings) {
+  Result<Tuple> t = Tuple::FromStrings(S(), {"x", "y", "z"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->at(0).as_string(), "x");
+  EXPECT_EQ(t->size(), 3u);
+}
+
+TEST(TupleTest, FromStringsArityMismatch) {
+  Result<Tuple> t = Tuple::FromStrings(S(), {"x", "y"});
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TupleTest, FromStringsParsesTypes) {
+  SchemaPtr s = Schema::Make(
+      "R", std::vector<Attribute>{{"n", DataType::kInt},
+                                  {"s", DataType::kString}});
+  Result<Tuple> t = Tuple::FromStrings(s, {"42", "hi"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->at(0).is_int());
+  EXPECT_EQ(t->at(0).as_int(), 42);
+}
+
+TEST(TupleTest, EmptyFieldBecomesNull) {
+  Result<Tuple> t = Tuple::FromStrings(S(), {"", "y", "z"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->at(0).is_null());
+}
+
+TEST(TupleTest, SetAndGet) {
+  Tuple t(S());
+  EXPECT_TRUE(t.at(0).is_null());
+  t.Set(0, Value::Str("v"));
+  EXPECT_EQ(t.at(0).as_string(), "v");
+}
+
+TEST(TupleTest, Project) {
+  Result<Tuple> t = Tuple::FromStrings(S(), {"x", "y", "z"});
+  auto vals = t->Project({2, 0});
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_EQ(vals[0].as_string(), "z");
+  EXPECT_EQ(vals[1].as_string(), "x");
+}
+
+TEST(TupleTest, AgreesOn) {
+  SchemaPtr s = S();
+  Tuple t1 = std::move(Tuple::FromStrings(s, {"x", "y", "z"})).ValueOrDie();
+  Tuple t2 = std::move(Tuple::FromStrings(s, {"z", "y", "x"})).ValueOrDie();
+  EXPECT_TRUE(t1.AgreesOn({0}, t2, {2}));
+  EXPECT_TRUE(t1.AgreesOn({0, 2}, t2, {2, 0}));
+  EXPECT_FALSE(t1.AgreesOn({0}, t2, {0}));
+  EXPECT_FALSE(t1.AgreesOn({0, 1}, t2, {2}));  // arity mismatch
+}
+
+TEST(TupleTest, DiffCountAndAttrs) {
+  SchemaPtr s = S();
+  Tuple t1 = std::move(Tuple::FromStrings(s, {"x", "y", "z"})).ValueOrDie();
+  Tuple t2 = std::move(Tuple::FromStrings(s, {"x", "q", "w"})).ValueOrDie();
+  EXPECT_EQ(t1.DiffCount(t2), 2u);
+  EXPECT_EQ(t1.DiffAttrs(t2), (std::vector<AttrId>{1, 2}));
+  EXPECT_EQ(t1.DiffCount(t1), 0u);
+}
+
+TEST(TupleTest, Equality) {
+  SchemaPtr s = S();
+  Tuple t1 = std::move(Tuple::FromStrings(s, {"x", "y", "z"})).ValueOrDie();
+  Tuple t2 = t1;
+  EXPECT_EQ(t1, t2);
+  t2.Set(1, Value::Str("q"));
+  EXPECT_NE(t1, t2);
+}
+
+TEST(ProjectKeyTest, DistinguishesFieldBoundaries) {
+  SchemaPtr s = S();
+  Tuple t1 = std::move(Tuple::FromStrings(s, {"ab", "c", "z"})).ValueOrDie();
+  Tuple t2 = std::move(Tuple::FromStrings(s, {"a", "bc", "z"})).ValueOrDie();
+  EXPECT_NE(ProjectKey(t1, {0, 1}), ProjectKey(t2, {0, 1}));
+}
+
+TEST(ProjectKeyTest, MatchesValuesKey) {
+  SchemaPtr s = S();
+  Tuple t = std::move(Tuple::FromStrings(s, {"a", "b", "c"})).ValueOrDie();
+  EXPECT_EQ(ProjectKey(t, {0, 2}),
+            ValuesKey({Value::Str("a"), Value::Str("c")}));
+}
+
+TEST(ProjectKeyTest, OrderMatters) {
+  SchemaPtr s = S();
+  Tuple t = std::move(Tuple::FromStrings(s, {"a", "b", "c"})).ValueOrDie();
+  EXPECT_NE(ProjectKey(t, {0, 1}), ProjectKey(t, {1, 0}));
+}
+
+}  // namespace
+}  // namespace certfix

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace certfix {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad attribute");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad attribute");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad attribute");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes;
+  codes.insert(Status::InvalidArgument("").code());
+  codes.insert(Status::NotFound("").code());
+  codes.insert(Status::AlreadyExists("").code());
+  codes.insert(Status::OutOfRange("").code());
+  codes.insert(Status::ParseError("").code());
+  codes.insert(Status::Inconsistent("").code());
+  codes.insert(Status::NotCovered("").code());
+  codes.insert(Status::Unsupported("").code());
+  codes.insert(Status::Internal("").code());
+  EXPECT_EQ(codes.size(), 9u);
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::NotFound("x");
+  EXPECT_EQ(os.str(), "NotFound: x");
+}
+
+Status FailIfNegative(int v) {
+  CERTFIX_RETURN_NOT_OK(v < 0 ? Status::OutOfRange("negative")
+                              : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(FailIfNegative(1).ok());
+  EXPECT_FALSE(FailIfNegative(-1).ok());
+}
+
+Result<int> HalfOf(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+TEST(ResultTest, ValueAccess) {
+  Result<int> r = HalfOf(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.ValueOrDie(), 5);
+}
+
+TEST(ResultTest, ErrorAccess) {
+  Result<int> r = HalfOf(3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> QuarterOf(int v) {
+  CERTFIX_ASSIGN_OR_RETURN(int half, HalfOf(v));
+  CERTFIX_ASSIGN_OR_RETURN(int quarter, HalfOf(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = QuarterOf(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(QuarterOf(6).ok());  // second step fails
+  EXPECT_FALSE(QuarterOf(5).ok());  // first step fails
+}
+
+TEST(ResultTest, MoveValueOut) {
+  Result<std::string> r = std::string("abc");
+  std::string out;
+  ASSERT_TRUE(std::move(r).Value(&out).ok());
+  EXPECT_EQ(out, "abc");
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  Rng c(100);
+  bool any_diff = false;
+  Rng a2(99);
+  for (int i = 0; i < 50; ++i) {
+    any_diff |= (a2.Uniform(0, 1000) != c.Uniform(0, 1000));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRateApproximate) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, StringGenerators) {
+  Rng rng(5);
+  std::string alpha = rng.AlphaString(12);
+  EXPECT_EQ(alpha.size(), 12u);
+  for (char c : alpha) EXPECT_TRUE(c >= 'a' && c <= 'z');
+  std::string digits = rng.DigitString(6);
+  for (char c : digits) EXPECT_TRUE(c >= '0' && c <= '9');
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  double s = timer.Seconds();
+  EXPECT_GT(s, 0.0);
+  // Monotone: successive reads never decrease; unit conversions agree.
+  double ms = timer.Millis();
+  EXPECT_GE(ms, s * 1e3);
+  EXPECT_GE(timer.Micros(), ms * 1e3);
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), s + 1.0);
+}
+
+TEST(LoggingTest, LevelGate) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Messages below the level are dropped silently (no crash, no output
+  // assertion possible without capturing stderr; exercise the macro).
+  CERTFIX_LOG(kDebug) << "dropped";
+  CERTFIX_LOG(kError) << "emitted";
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace certfix

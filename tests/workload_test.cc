@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cfd/violation.h"
+#include "core/certain_fix.h"
+#include "workload/dblp.h"
+#include "workload/dirty_gen.h"
+#include "workload/hosp.h"
+#include "workload/metrics.h"
+
+namespace certfix {
+namespace {
+
+// Verifies that a relation satisfies the FD X -> B (master consistency
+// precondition of Sect. 2: Dm "can be assumed consistent and complete").
+void ExpectFunctional(const Relation& rel, const std::vector<AttrId>& x,
+                      AttrId b, const std::string& label) {
+  std::map<std::string, Value> seen;
+  for (const Tuple& t : rel) {
+    std::string key = ProjectKey(t, x);
+    auto it = seen.find(key);
+    if (it == seen.end()) {
+      seen.emplace(key, t.at(b));
+    } else {
+      ASSERT_EQ(it->second, t.at(b)) << "FD violated: " << label;
+    }
+  }
+}
+
+TEST(HospWorkloadTest, SchemaHas19Attributes) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  EXPECT_EQ(schema->num_attrs(), 19u);
+  EXPECT_TRUE(schema->Has("zip"));
+  EXPECT_TRUE(schema->Has("sAvg"));
+  EXPECT_TRUE(schema->Has("addr3"));
+}
+
+TEST(HospWorkloadTest, Has21Rules) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  RuleSet rules = HospWorkload::MakeRules(schema);
+  EXPECT_EQ(rules.size(), 21u);
+  // Every attribute is mentioned (no unmentioned attrs in HOSP).
+  EXPECT_EQ(rules.MentionedAttrs(), schema->AllAttrs());
+}
+
+TEST(HospWorkloadTest, MasterRespectsRuleFds) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  Rng rng(5);
+  Relation master = HospWorkload::MakeMaster(schema, 300, &rng);
+  EXPECT_EQ(master.size(), 300u);
+  auto a = [&](const std::string& n) {
+    return *schema->IndexOf(n);
+  };
+  ExpectFunctional(master, {a("zip")}, a("ST"), "zip->ST");
+  ExpectFunctional(master, {a("zip")}, a("city"), "zip->city");
+  ExpectFunctional(master, {a("phn")}, a("zip"), "phn->zip");
+  ExpectFunctional(master, {a("id")}, a("hName"), "id->hName");
+  ExpectFunctional(master, {a("id"), a("mCode")}, a("Score"),
+                   "(id,mCode)->Score");
+  ExpectFunctional(master, {a("mCode"), a("ST")}, a("sAvg"),
+                   "(mCode,ST)->sAvg");
+  ExpectFunctional(master, {a("provider")}, a("id"), "provider->id");
+  ExpectFunctional(master, {a("hName"), a("city")}, a("id"),
+                   "(hName,city)->id");
+}
+
+TEST(HospWorkloadTest, MasterConsistentForEngine) {
+  // The master must yield conflict-free unique fixes from {id, mCode}.
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  RuleSet rules = HospWorkload::MakeRules(schema);
+  Rng rng(5);
+  Relation master = HospWorkload::MakeMaster(schema, 200, &rng);
+  MasterIndex index(rules, master);
+  Saturator sat(rules, master, index);
+  for (size_t i = 0; i < master.size(); i += 37) {
+    AttrSet z;
+    z.Add(*schema->IndexOf("id"));
+    z.Add(*schema->IndexOf("mCode"));
+    SaturationResult result = sat.CheckUniqueFix(master.at(i), z);
+    EXPECT_TRUE(result.unique);
+    EXPECT_TRUE(result.CertainOver(schema));
+    EXPECT_EQ(result.fixed, master.at(i));
+  }
+}
+
+TEST(HospWorkloadTest, CfdsMirrorMaster) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  Rng rng(5);
+  Relation master = HospWorkload::MakeMaster(schema, 100, &rng);
+  CfdSet cfds = HospWorkload::MakeCfdsFromMaster(schema, master, 20);
+  EXPECT_GT(cfds.size(), 0u);
+  // The master itself must satisfy all derived CFDs.
+  EXPECT_EQ(CountViolations(cfds, master), 0u);
+}
+
+TEST(DblpWorkloadTest, SchemaHas12Attributes) {
+  SchemaPtr schema = DblpWorkload::MakeSchema();
+  EXPECT_EQ(schema->num_attrs(), 12u);
+}
+
+TEST(DblpWorkloadTest, Has16Rules) {
+  SchemaPtr schema = DblpWorkload::MakeSchema();
+  RuleSet rules = DblpWorkload::MakeRules(schema);
+  EXPECT_EQ(rules.size(), 16u);
+}
+
+TEST(DblpWorkloadTest, CrossAttributeHomepageConsistency) {
+  // phi2/phi4 map a2 to the master's a1 (and vice versa); the master must
+  // therefore assign each author one homepage regardless of position.
+  SchemaPtr schema = DblpWorkload::MakeSchema();
+  Rng rng(5);
+  Relation master = DblpWorkload::MakeMaster(schema, 300, &rng);
+  auto a = [&](const std::string& n) { return *schema->IndexOf(n); };
+  std::map<std::string, std::string> homepage;
+  for (const Tuple& t : master) {
+    for (auto [author, hp] :
+         {std::pair{a("a1"), a("hp1")}, std::pair{a("a2"), a("hp2")}}) {
+      std::string name = t.at(author).as_string();
+      auto it = homepage.find(name);
+      if (it == homepage.end()) {
+        homepage.emplace(name, t.at(hp).as_string());
+      } else {
+        ASSERT_EQ(it->second, t.at(hp).as_string())
+            << "author " << name << " has two homepages";
+      }
+    }
+  }
+}
+
+TEST(DblpWorkloadTest, MasterRespectsVenueFds) {
+  SchemaPtr schema = DblpWorkload::MakeSchema();
+  Rng rng(5);
+  Relation master = DblpWorkload::MakeMaster(schema, 300, &rng);
+  auto a = [&](const std::string& n) { return *schema->IndexOf(n); };
+  ExpectFunctional(master, {a("type"), a("crossref")}, a("btitle"),
+                   "crossref->btitle");
+  ExpectFunctional(master, {a("type"), a("crossref")}, a("year"),
+                   "crossref->year");
+  ExpectFunctional(master, {a("type"), a("btitle"), a("year")}, a("isbn"),
+                   "venue->isbn");
+  ExpectFunctional(
+      master,
+      {a("type"), a("a1"), a("a2"), a("ptitle"), a("pages")}, a("crossref"),
+      "paper->crossref");
+}
+
+TEST(DblpWorkloadTest, MasterConsistentForEngine) {
+  SchemaPtr schema = DblpWorkload::MakeSchema();
+  RuleSet rules = DblpWorkload::MakeRules(schema);
+  Rng rng(5);
+  Relation master = DblpWorkload::MakeMaster(schema, 150, &rng);
+  MasterIndex index(rules, master);
+  Saturator sat(rules, master, index);
+  AttrSet z;
+  for (const char* n : {"type", "a1", "a2", "ptitle", "pages"}) {
+    z.Add(*schema->IndexOf(n));
+  }
+  for (size_t i = 0; i < master.size(); i += 31) {
+    SaturationResult result = sat.CheckUniqueFix(master.at(i), z);
+    EXPECT_TRUE(result.unique);
+    EXPECT_TRUE(result.CertainOver(schema));
+    EXPECT_EQ(result.fixed, master.at(i));
+  }
+}
+
+TEST(DirtyGenTest, DuplicateRateRespected) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  Rng rng(5);
+  Relation master = HospWorkload::MakeMaster(schema, 100, &rng);
+  Rng rng2(77);
+  Relation non_master =
+      HospWorkload::MakeMaster(schema, 100, &rng2, 1000000);
+  DirtyGenOptions options;
+  options.duplicate_rate = 0.3;
+  options.noise_rate = 0.2;
+  DirtyGenerator gen(master, non_master, options);
+  std::vector<DirtyPair> pairs = gen.Generate(2000);
+  size_t dup = 0;
+  for (const DirtyPair& p : pairs) dup += p.from_master ? 1 : 0;
+  double rate = static_cast<double>(dup) / pairs.size();
+  EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(DirtyGenTest, NoiseRateRespected) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  Rng rng(5);
+  Relation master = HospWorkload::MakeMaster(schema, 100, &rng);
+  DirtyGenOptions options;
+  options.noise_rate = 0.25;
+  DirtyGenerator gen(master, master, options);
+  std::vector<DirtyPair> pairs = gen.Generate(500);
+  size_t corrupted = 0;
+  size_t total = 0;
+  for (const DirtyPair& p : pairs) {
+    corrupted += static_cast<size_t>(p.corrupted.Count());
+    total += p.clean.size();
+    // corrupted set is exactly the diff.
+    AttrSet diff;
+    for (AttrId a : p.dirty.DiffAttrs(p.clean)) diff.Add(a);
+    EXPECT_EQ(diff, p.corrupted);
+  }
+  double rate = static_cast<double>(corrupted) / total;
+  EXPECT_NEAR(rate, 0.25, 0.04);
+}
+
+TEST(DirtyGenTest, ProtectedAttrsNeverCorrupted) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  Rng rng(5);
+  Relation master = HospWorkload::MakeMaster(schema, 50, &rng);
+  DirtyGenOptions options;
+  options.noise_rate = 0.9;
+  options.protected_attrs.Add(*schema->IndexOf("id"));
+  DirtyGenerator gen(master, master, options);
+  for (const DirtyPair& p : gen.Generate(200)) {
+    EXPECT_FALSE(p.corrupted.Contains(*schema->IndexOf("id")));
+  }
+}
+
+TEST(DirtyGenTest, Deterministic) {
+  SchemaPtr schema = DblpWorkload::MakeSchema();
+  Rng rng(5);
+  Relation master = DblpWorkload::MakeMaster(schema, 50, &rng);
+  DirtyGenOptions options;
+  options.seed = 99;
+  DirtyGenerator g1(master, master, options);
+  DirtyGenerator g2(master, master, options);
+  for (int i = 0; i < 50; ++i) {
+    DirtyPair p1 = g1.Next();
+    DirtyPair p2 = g2.Next();
+    EXPECT_EQ(p1.dirty, p2.dirty);
+    EXPECT_EQ(p1.clean, p2.clean);
+  }
+}
+
+TEST(MetricsTest, Definitions) {
+  SchemaPtr schema = Schema::Make("R", std::vector<std::string>{"a", "b", "c"});
+  auto t = [&](const std::vector<std::string>& f) {
+    return std::move(Tuple::FromStrings(schema, f)).ValueOrDie();
+  };
+  MetricsAccumulator acc;
+  // Tuple 1: two errors (a, b); rules fixed a correctly, changed c wrongly
+  // ... c was clean so changing it breaks precision only if it leaves the
+  // value wrong. Here: rules changed a (fixed) and b stayed wrong.
+  AttrSet changed1{0};
+  acc.Record(t({"x", "y", "z"}),   // dirty
+             t({"X", "Y", "z"}),   // clean
+             t({"X", "y", "z"}),   // result: a fixed, b still wrong
+             changed1);
+  EXPECT_EQ(acc.erroneous_tuples(), 1u);
+  EXPECT_EQ(acc.corrected_tuples(), 0u);
+  EXPECT_EQ(acc.erroneous_attrs(), 2u);
+  EXPECT_EQ(acc.corrected_attrs(), 1u);
+  EXPECT_EQ(acc.changed_attrs(), 1u);
+  EXPECT_DOUBLE_EQ(acc.recall_a(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.precision_a(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall_t(), 0.0);
+
+  // Tuple 2: one error fully fixed by rules -> corrected tuple.
+  AttrSet changed2{1};
+  acc.Record(t({"x", "q", "z"}), t({"x", "Q", "z"}), t({"x", "Q", "z"}),
+             changed2);
+  EXPECT_EQ(acc.corrected_tuples(), 1u);
+  EXPECT_DOUBLE_EQ(acc.recall_t(), 0.5);
+  double f = acc.f_measure();
+  EXPECT_GT(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+TEST(MetricsTest, UserFixedAttrsNotCounted) {
+  SchemaPtr schema = Schema::Make("R", std::vector<std::string>{"a", "b"});
+  auto t = [&](const std::vector<std::string>& f) {
+    return std::move(Tuple::FromStrings(schema, f)).ValueOrDie();
+  };
+  MetricsAccumulator acc;
+  // Both errors fixed, but by the user (auto_changed empty): recall_a = 0,
+  // recall_t = 1 (tuple clean by any means; Sect. 6 footnote).
+  acc.Record(t({"x", "y"}), t({"X", "Y"}), t({"X", "Y"}), AttrSet());
+  EXPECT_DOUBLE_EQ(acc.recall_a(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.recall_t(), 1.0);
+}
+
+TEST(MetricsTest, WrongAutoChangeHurtsPrecision) {
+  SchemaPtr schema = Schema::Make("R", std::vector<std::string>{"a", "b"});
+  auto t = [&](const std::vector<std::string>& f) {
+    return std::move(Tuple::FromStrings(schema, f)).ValueOrDie();
+  };
+  MetricsAccumulator acc;
+  AttrSet changed{0, 1};
+  // Rules changed both attrs; only a landed on the truth.
+  acc.Record(t({"x", "y"}), t({"X", "Y"}), t({"X", "WRONG"}), changed);
+  EXPECT_DOUBLE_EQ(acc.precision_a(), 0.5);
+}
+
+TEST(MetricsTest, CleanInputsAreNeutral) {
+  SchemaPtr schema = Schema::Make("R", std::vector<std::string>{"a"});
+  auto t = [&](const std::vector<std::string>& f) {
+    return std::move(Tuple::FromStrings(schema, f)).ValueOrDie();
+  };
+  MetricsAccumulator acc;
+  acc.Record(t({"x"}), t({"x"}), t({"x"}), AttrSet());
+  EXPECT_EQ(acc.erroneous_tuples(), 0u);
+  EXPECT_DOUBLE_EQ(acc.recall_t(), 1.0);  // vacuous
+  EXPECT_DOUBLE_EQ(acc.recall_a(), 1.0);  // vacuous
+}
+
+}  // namespace
+}  // namespace certfix
