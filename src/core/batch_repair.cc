@@ -1,29 +1,76 @@
 #include "core/batch_repair.h"
 
+#include "util/thread_pool.h"
+
 namespace certfix {
+
+void BatchRepair::RepairRange(const Relation& data, AttrSet trusted,
+                              AttrSet all, size_t begin, size_t end,
+                              Relation* repaired,
+                              ShardCounters* counters) const {
+  for (size_t i = begin; i < end; ++i) {
+    SaturationResult fix = sat_->CheckUniqueFix(data.at(i), trusted);
+    if (!fix.unique) {
+      ++counters->conflicting;
+      counters->conflict_rows.push_back(i);
+      continue;
+    }
+    counters->cells_changed += data.at(i).DiffCount(fix.fixed);
+    if (fix.covered == all) {
+      ++counters->fully_covered;
+    } else if (fix.covered != trusted) {
+      ++counters->partial;
+    } else {
+      ++counters->untouched;
+    }
+    repaired->at(i) = std::move(fix.fixed);
+  }
+}
 
 BatchRepairResult BatchRepair::Repair(const Relation& data,
                                       AttrSet trusted) const {
   BatchRepairResult result;
   result.repaired = data;
   AttrSet all = sat_->rules().r_schema()->AllAttrs();
-  for (size_t i = 0; i < data.size(); ++i) {
-    SaturationResult fix = sat_->CheckUniqueFix(data.at(i), trusted);
-    if (!fix.unique) {
-      ++result.tuples_conflicting;
-      result.conflict_rows.push_back(i);
-      continue;
-    }
-    size_t changed = data.at(i).DiffCount(fix.fixed);
-    result.cells_changed += changed;
-    if (fix.covered == all) {
-      ++result.tuples_fully_covered;
-    } else if (fix.covered != trusted) {
-      ++result.tuples_partial;
-    } else {
-      ++result.tuples_untouched;
-    }
-    result.repaired.at(i) = std::move(fix.fixed);
+
+  size_t threads = options_.num_threads == 0 ? DefaultParallelism()
+                                             : options_.num_threads;
+  if (threads <= 1) {
+    // Sequential reference path: the original tuple-at-a-time loop.
+    ShardCounters counters;
+    RepairRange(data, trusted, all, 0, data.size(), &result.repaired,
+                &counters);
+    result.tuples_fully_covered = counters.fully_covered;
+    result.tuples_partial = counters.partial;
+    result.tuples_untouched = counters.untouched;
+    result.tuples_conflicting = counters.conflicting;
+    result.cells_changed = counters.cells_changed;
+    result.conflict_rows = std::move(counters.conflict_rows);
+    return result;
+  }
+
+  // Partition -> repair-shard -> deterministic merge. Shards are
+  // contiguous row ranges; workers write disjoint rows of `repaired` and
+  // their own counter slot, so no synchronization beyond the pool's own
+  // is needed. Merging in shard order makes counters and conflict_rows
+  // independent of scheduling.
+  size_t n = data.size();
+  std::vector<ShardCounters> shards(
+      NumChunks(n, threads, options_.chunk_size));
+  ParallelFor(n, threads, options_.chunk_size,
+              [&](size_t chunk, size_t begin, size_t end) {
+                RepairRange(data, trusted, all, begin, end, &result.repaired,
+                            &shards[chunk]);
+              });
+  for (const ShardCounters& s : shards) {
+    result.tuples_fully_covered += s.fully_covered;
+    result.tuples_partial += s.partial;
+    result.tuples_untouched += s.untouched;
+    result.tuples_conflicting += s.conflicting;
+    result.cells_changed += s.cells_changed;
+    result.conflict_rows.insert(result.conflict_rows.end(),
+                                s.conflict_rows.begin(),
+                                s.conflict_rows.end());
   }
   return result;
 }

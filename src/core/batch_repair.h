@@ -9,6 +9,18 @@
 /// Tuples whose (Sigma, Dm) analysis conflicts are left untouched and
 /// reported; tuples not fully covered are partially repaired (every
 /// applied fix is still certain relative to Z).
+///
+/// Threading model: repair is embarrassingly parallel across tuples —
+/// each tuple's (Sigma, Dm) saturation is independent, and `Saturator`
+/// and `MasterIndex` are safe for concurrent read-only use after
+/// construction (see saturation.h / master_index.h). With
+/// `RepairOptions::num_threads > 1` the input is split into contiguous
+/// row-range shards, each shard is repaired by a pool worker
+/// (util/thread_pool.h), and shard results are merged in row order, so
+/// the output — repaired relation, every counter, and the order of
+/// `conflict_rows` — is bit-identical to the sequential
+/// `num_threads == 1` path, which still runs the original
+/// tuple-at-a-time loop.
 
 #ifndef CERTFIX_CORE_BATCH_REPAIR_H_
 #define CERTFIX_CORE_BATCH_REPAIR_H_
@@ -16,6 +28,15 @@
 #include "core/saturation.h"
 
 namespace certfix {
+
+/// \brief Execution knobs for BatchRepair.
+struct RepairOptions {
+  /// Worker count. 1 = the original sequential loop (the differential-
+  /// testing reference); 0 = one worker per hardware thread.
+  size_t num_threads = 1;
+  /// Rows per shard. 0 = divide the input evenly over the workers.
+  size_t chunk_size = 0;
+};
 
 /// \brief Outcome of repairing one relation.
 struct BatchRepairResult {
@@ -25,21 +46,41 @@ struct BatchRepairResult {
   size_t tuples_untouched = 0;      ///< nothing beyond Z derivable
   size_t tuples_conflicting = 0;    ///< unique-fix check failed
   size_t cells_changed = 0;
-  /// Row positions with conflicts (left unmodified).
+  /// Row positions with conflicts (left unmodified), ascending.
   std::vector<size_t> conflict_rows;
 };
 
 /// \brief Batch repair engine.
 class BatchRepair {
  public:
-  explicit BatchRepair(const Saturator& sat) : sat_(&sat) {}
+  explicit BatchRepair(const Saturator& sat, RepairOptions options = {})
+      : sat_(&sat), options_(options) {}
 
   /// Repairs a copy of `data`, trusting t[Z] of every tuple. Tuples that
   /// fail the unique-fix check are reported and left unchanged.
   BatchRepairResult Repair(const Relation& data, AttrSet trusted) const;
 
+  const RepairOptions& options() const { return options_; }
+
  private:
+  /// Per-shard tallies; `conflict_rows` holds absolute row positions.
+  struct ShardCounters {
+    size_t fully_covered = 0;
+    size_t partial = 0;
+    size_t untouched = 0;
+    size_t conflicting = 0;
+    size_t cells_changed = 0;
+    std::vector<size_t> conflict_rows;
+  };
+
+  /// Repairs rows [begin, end) of `data` in place on `repaired` (only
+  /// those rows are touched, so disjoint shards never contend).
+  void RepairRange(const Relation& data, AttrSet trusted, AttrSet all,
+                   size_t begin, size_t end, Relation* repaired,
+                   ShardCounters* counters) const;
+
   const Saturator* sat_;
+  RepairOptions options_;
 };
 
 }  // namespace certfix

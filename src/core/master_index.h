@@ -29,6 +29,11 @@ namespace certfix {
 /// The sharing constructor reuses the structures of an existing index for
 /// a refined rule set (e.g. Sigma_t[Z], whose rules keep their Xm/Bm),
 /// avoiding any O(|Dm|) work per Suggest call.
+///
+/// Thread safety: all index structures are built in the constructor and
+/// never mutated afterwards; Candidates / RhsValues are pure lookups, so
+/// a fully constructed MasterIndex is safe for concurrent read-only use
+/// (the parallel BatchRepair shards share one instance).
 class MasterIndex {
  public:
   /// One distinct rhs value and a representative master row carrying it.

@@ -8,6 +8,7 @@ namespace certfix {
 
 const std::set<Value>& Saturator::Dom() const {
   if (dom_hint_ != nullptr) return *dom_hint_;
+  std::lock_guard<std::mutex> lock(dom_mutex_);
   if (!dom_cache_.has_value()) {
     dom_cache_ = ActiveDomain(*rules_, *dm_);
   }

@@ -14,6 +14,7 @@
 #ifndef CERTFIX_CORE_SATURATION_H_
 #define CERTFIX_CORE_SATURATION_H_
 
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -49,6 +50,14 @@ struct SaturationResult {
 };
 
 /// \brief Saturation engine bound to (Sigma, Dm) plus its hash indexes.
+///
+/// Thread safety: a fully constructed Saturator is safe for concurrent
+/// read-only use — Saturate / SaturateExcluding / CheckUniqueFix keep all
+/// mutable state on the stack, the referenced RuleSet / Relation /
+/// MasterIndex are never written, and the one lazily initialized member
+/// (the Dom() cache) is guarded by a mutex. SetDomHint is the exception:
+/// it must not race with readers. BatchRepair relies on this to run many
+/// per-tuple saturations against one shared Saturator.
 class Saturator {
  public:
   Saturator(const RuleSet& rules, const Relation& dm,
@@ -91,6 +100,7 @@ class Saturator {
   const Relation* dm_;
   const MasterIndex* index_;
   const std::set<Value>* dom_hint_ = nullptr;
+  mutable std::mutex dom_mutex_;  ///< guards dom_cache_ initialization
   mutable std::optional<std::set<Value>> dom_cache_;
 };
 

@@ -1,5 +1,7 @@
 #include "tools/cli.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -57,7 +59,8 @@ void Usage(std::ostream& err) {
       << "  analyze --master M.csv --rules R.rules\n"
       << "  check   --master M.csv --rules R.rules --region a,b,c\n"
       << "  repair  --master M.csv --rules R.rules --input D.csv\n"
-      << "          --trusted a,b [--output OUT.csv]\n";
+      << "          --trusted a,b [--output OUT.csv] [--threads N]\n"
+      << "          [--chunk-size N]\n";
 }
 
 /// Renders a rule in the DSL accepted by rule_parser.h.
@@ -257,9 +260,32 @@ int CmdRepair(const ParsedArgs& args, std::ostream& out,
     err << trusted.status() << "\n";
     return 2;
   }
+  // 0 is a meaningful value for both knobs (all hardware threads / even
+  // split), so a typo must not silently parse to it.
+  auto parse_size = [&](const char* flag, size_t* out) {
+    auto it = args.flags.find(flag);
+    if (it == args.flags.end()) return true;
+    const std::string& s = it->second;
+    char* end = nullptr;
+    errno = 0;
+    unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
+        s.find('-') != std::string::npos) {
+      err << "--" << flag << " needs a non-negative integer, got '" << s
+          << "'\n";
+      return false;
+    }
+    *out = v;
+    return true;
+  };
+  RepairOptions options;
+  if (!parse_size("threads", &options.num_threads) ||
+      !parse_size("chunk-size", &options.chunk_size)) {
+    return 1;
+  }
   MasterIndex index(*rules, *master);
   Saturator sat(*rules, *master, index);
-  BatchRepair repair(sat);
+  BatchRepair repair(sat, options);
   BatchRepairResult result =
       repair.Repair(*input, AttrSet::FromVector(*trusted));
   out << "rows: " << input->size()

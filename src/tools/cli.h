@@ -16,9 +16,13 @@
 ///       (master-anchored tableau construction + certainty checks).
 ///
 ///   certfix repair  --master M.csv --rules R.rules --input D.csv
-///                   --trusted a,b [--output OUT.csv]
+///                   --trusted a,b [--output OUT.csv] [--threads N]
+///                   [--chunk-size N]
 ///       Batch-repair D.csv trusting the listed attributes of every row;
-///       write the repaired relation and print statistics.
+///       write the repaired relation and print statistics. --threads N
+///       repairs N row shards in parallel (0 = all hardware threads;
+///       output is identical at any thread count); --chunk-size sets the
+///       rows per shard.
 ///
 /// The logic is stream-injected for testability; examples/certfix_cli.cpp
 /// wraps it in main().

@@ -1,0 +1,118 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace certfix {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  try {
+    for (size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  } catch (const std::system_error&) {
+    // Thread-resource exhaustion mid-spawn: with at least one worker the
+    // pool is functional, just narrower; the destructor joins what was
+    // spawned. With none there is nothing to clean up — propagate.
+    if (workers_.empty()) throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+size_t DefaultParallelism() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t ResolveChunkSize(size_t n, size_t num_threads, size_t chunk_size) {
+  if (chunk_size > 0) return chunk_size;
+  size_t threads = num_threads == 0 ? DefaultParallelism() : num_threads;
+  if (threads <= 1 || n <= threads) return std::max<size_t>(1, n);
+  return (n + threads - 1) / threads;
+}
+
+size_t NumChunks(size_t n, size_t num_threads, size_t chunk_size) {
+  if (n == 0) return 0;
+  size_t size = ResolveChunkSize(n, num_threads, chunk_size);
+  return (n + size - 1) / size;
+}
+
+void ParallelFor(size_t n, size_t num_threads, size_t chunk_size,
+                 const std::function<void(size_t, size_t, size_t)>& body) {
+  if (n == 0) return;
+  size_t threads = num_threads == 0 ? DefaultParallelism() : num_threads;
+  size_t size = ResolveChunkSize(n, num_threads, chunk_size);
+  size_t chunks = (n + size - 1) / size;
+  if (threads <= 1 || chunks <= 1) {
+    for (size_t k = 0; k < chunks; ++k) {
+      body(k, k * size, std::min((k + 1) * size, n));
+    }
+    return;
+  }
+  // Worker cap: oversubscription beyond the hardware is allowed (the
+  // differential tests rely on running >1 worker per core) but bounded,
+  // so an absurd num_threads cannot exhaust OS threads. The chunk layout
+  // above depends only on (n, num_threads, chunk_size), so capping the
+  // pool never changes results.
+  size_t cap = std::max<size_t>(16, 2 * DefaultParallelism());
+  ThreadPool pool(std::min({threads, chunks, cap}));
+  for (size_t k = 0; k < chunks; ++k) {
+    pool.Submit([&body, k, size, n] {
+      body(k, k * size, std::min((k + 1) * size, n));
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace certfix

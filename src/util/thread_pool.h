@@ -1,0 +1,94 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool and a chunked parallel-for on top of it.
+///
+/// The pool is the primitive behind the parallel batch-repair engine (and
+/// future sharded subsystems): a fixed number of workers pull closures
+/// from one queue, and Wait() blocks until every submitted task has
+/// finished, so one pool can serve many Submit/Wait waves. ParallelFor is
+/// the one-shot convenience on top: it spins up a pool for a single
+/// statically chunked loop — no work stealing — which keeps the
+/// chunk -> worker mapping deterministic and cheap.
+
+#ifndef CERTFIX_UTIL_THREAD_POOL_H_
+#define CERTFIX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace certfix {
+
+/// \brief Fixed worker count, one shared FIFO task queue.
+///
+/// The first exception a task throws is captured and rethrown from the
+/// next Wait() (after all tasks of the wave have drained), so a failing
+/// shard surfaces exactly like it would on the sequential path instead of
+/// silently yielding partial results; subsequent exceptions of the same
+/// wave are dropped.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs as soon as a worker is free.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running, then
+  /// rethrows the first exception any task of the wave threw (if any).
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;  ///< signals workers
+  std::condition_variable all_done_;    ///< signals Wait()
+  size_t in_flight_ = 0;                ///< queued + running tasks
+  std::exception_ptr first_error_;      ///< first task failure of the wave
+  bool stop_ = false;
+};
+
+/// Worker count to use when the caller passes 0: the hardware concurrency,
+/// or 1 when it is unknown.
+size_t DefaultParallelism();
+
+/// \brief Runs `body(chunk_index, begin, end)` over static contiguous
+/// chunks of [0, n).
+///
+/// Chunks are `[k*chunk_size, min((k+1)*chunk_size, n))` for
+/// k = 0 .. NumChunks(n, chunk_size)-1, so results indexed by chunk can be
+/// merged in a deterministic order regardless of execution interleaving.
+/// With `num_threads <= 1` (after resolving 0 via DefaultParallelism) or a
+/// single chunk, everything runs inline on the calling thread and no pool
+/// is created. `chunk_size == 0` divides [0, n) evenly over the workers.
+/// `body` must be safe to call concurrently on disjoint chunks. The pool's
+/// worker count is capped at max(16, 2x hardware threads) — the chunk
+/// layout is already fixed by the arguments, so the cap never changes
+/// results. If any chunk throws, the first exception propagates to the
+/// caller after the round drains.
+void ParallelFor(size_t n, size_t num_threads, size_t chunk_size,
+                 const std::function<void(size_t chunk_index, size_t begin,
+                                          size_t end)>& body);
+
+/// The chunk size ParallelFor will actually use (resolves chunk_size == 0
+/// to an even split over the workers). Always >= 1.
+size_t ResolveChunkSize(size_t n, size_t num_threads, size_t chunk_size);
+
+/// Number of chunks ParallelFor will produce: ceil(n / resolved size).
+size_t NumChunks(size_t n, size_t num_threads, size_t chunk_size);
+
+}  // namespace certfix
+
+#endif  // CERTFIX_UTIL_THREAD_POOL_H_

@@ -65,29 +65,83 @@ ExperimentResult RunInteractiveExperiment(CertainFixEngine* engine,
   return result;
 }
 
+namespace {
+
+// Appends each pair's dirty tuple to `*dirty`, returning the pairs
+// actually appended. Append can only fail on a schema mismatch (a
+// workload bug); dropping the pair keeps row indexes aligned with the
+// relation so scoring never reads past the repaired rows.
+std::vector<const DirtyPair*> BuildDirtyRelation(
+    const std::vector<DirtyPair>& pairs, Relation* dirty) {
+  std::vector<const DirtyPair*> appended;
+  appended.reserve(pairs.size());
+  dirty->Reserve(pairs.size());
+  for (const DirtyPair& pair : pairs) {
+    if (dirty->Append(pair.dirty).ok()) appended.push_back(&pair);
+  }
+  return appended;
+}
+
+// Attribute-level quality of `repaired` (row i = pairs[i]) against each
+// pair's ground truth.
+MetricsAccumulator ScoreRepairs(const std::vector<const DirtyPair*>& pairs,
+                                const Relation& repaired) {
+  MetricsAccumulator acc;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const Tuple& out = repaired.at(i);
+    AttrSet changed;
+    for (AttrId a : pairs[i]->dirty.DiffAttrs(out)) changed.Add(a);
+    acc.Record(pairs[i]->dirty, pairs[i]->clean, out, changed);
+  }
+  return acc;
+}
+
+}  // namespace
+
+BatchExperimentResult RunBatchRepairExperiment(
+    const Saturator& sat, const Relation& master, const Relation& non_master,
+    AttrSet trusted, const ExperimentConfig& config,
+    const RepairOptions& options) {
+  ExperimentConfig gen_config = config;
+  gen_config.gen.protected_attrs = trusted;
+  DirtyGenerator gen(master, non_master, gen_config.gen);
+  std::vector<DirtyPair> pairs = gen.Generate(gen_config.num_tuples);
+
+  BatchExperimentResult result;
+  Relation dirty(master.schema());
+  std::vector<const DirtyPair*> appended = BuildDirtyRelation(pairs, &dirty);
+  result.num_tuples = appended.size();
+
+  BatchRepair engine(sat, options);
+  Timer timer;
+  result.repair = engine.Repair(dirty, trusted);
+  result.seconds = timer.Seconds();
+  result.tuples_per_second =
+      result.seconds > 0
+          ? static_cast<double>(appended.size()) / result.seconds
+          : 0.0;
+
+  MetricsAccumulator acc = ScoreRepairs(appended, result.repair.repaired);
+  result.recall_a = acc.recall_a();
+  result.precision_a = acc.precision_a();
+  result.f_measure = acc.f_measure();
+  return result;
+}
+
 BaselineResult RunIncRepBaseline(const CfdSet& cfds,
                                  const std::vector<DirtyPair>& pairs,
                                  const IncRepOptions& options) {
   BaselineResult result;
   if (pairs.empty()) return result;
   Relation dirty(pairs.front().dirty.schema());
-  for (const DirtyPair& pair : pairs) {
-    Status st = dirty.Append(pair.dirty);
-    (void)st;
-  }
+  std::vector<const DirtyPair*> appended = BuildDirtyRelation(pairs, &dirty);
   Timer timer;
   IncRep increp(cfds, options);
   RepairResult repair = increp.Repair(dirty);
   result.seconds = timer.Seconds();
   result.cells_changed = repair.cells_changed;
 
-  MetricsAccumulator acc;
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    const Tuple& repaired = repair.repaired.at(i);
-    AttrSet changed;
-    for (AttrId a : pairs[i].dirty.DiffAttrs(repaired)) changed.Add(a);
-    acc.Record(pairs[i].dirty, pairs[i].clean, repaired, changed);
-  }
+  MetricsAccumulator acc = ScoreRepairs(appended, repair.repaired);
   result.recall_a = acc.recall_a();
   result.precision_a = acc.precision_a();
   result.f_measure = acc.f_measure();

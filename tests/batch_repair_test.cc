@@ -104,6 +104,111 @@ TEST(BatchRepairHospTest, RestoresDuplicatesAtScale) {
   }
 }
 
+// --- Differential tests: the parallel engine must be bit-identical to
+// the sequential num_threads == 1 reference path. ---
+
+void ExpectSameRepair(const BatchRepairResult& expected,
+                      const BatchRepairResult& actual,
+                      const std::string& label) {
+  EXPECT_EQ(actual.tuples_fully_covered, expected.tuples_fully_covered)
+      << label;
+  EXPECT_EQ(actual.tuples_partial, expected.tuples_partial) << label;
+  EXPECT_EQ(actual.tuples_untouched, expected.tuples_untouched) << label;
+  EXPECT_EQ(actual.tuples_conflicting, expected.tuples_conflicting) << label;
+  EXPECT_EQ(actual.cells_changed, expected.cells_changed) << label;
+  EXPECT_EQ(actual.conflict_rows, expected.conflict_rows) << label;
+  ASSERT_EQ(actual.repaired.size(), expected.repaired.size()) << label;
+  for (size_t i = 0; i < expected.repaired.size(); ++i) {
+    EXPECT_EQ(actual.repaired.at(i), expected.repaired.at(i))
+        << label << " row " << i;
+  }
+}
+
+TEST_F(BatchRepairSupplierTest, ParallelMatchesSequentialWithConflicts) {
+  // 25 rows (odd, not divisible by any tested thread count) cycling
+  // through fixable / conflicting / untouchable tuples, so every counter
+  // and the conflict_rows order are exercised across shard boundaries.
+  Relation data(r_);
+  for (size_t i = 0; i < 25; ++i) {
+    switch (i % 3) {
+      case 0:
+        ASSERT_TRUE(data.Append(T1(r_)).ok());
+        break;
+      case 1:
+        ASSERT_TRUE(data.Append(T3(r_)).ok());
+        break;
+      default:
+        ASSERT_TRUE(data.Append(T4(r_)).ok());
+        break;
+    }
+  }
+  AttrSet trusted = Attrs(r_, {"AC", "phn", "type", "zip"});
+  BatchRepairResult sequential = BatchRepair(*sat_).Repair(data, trusted);
+  EXPECT_GT(sequential.tuples_conflicting, 0u);
+  for (size_t threads : {2, 3, 8}) {
+    for (size_t chunk : {0, 1, 4}) {
+      RepairOptions options;
+      options.num_threads = threads;
+      options.chunk_size = chunk;
+      BatchRepairResult parallel =
+          BatchRepair(*sat_, options).Repair(data, trusted);
+      ExpectSameRepair(sequential, parallel,
+                       "threads=" + std::to_string(threads) +
+                           " chunk=" + std::to_string(chunk));
+    }
+  }
+}
+
+TEST_F(BatchRepairSupplierTest, MoreThreadsThanRows) {
+  Relation data(r_);
+  ASSERT_TRUE(data.Append(T1(r_)).ok());
+  ASSERT_TRUE(data.Append(T3(r_)).ok());
+  ASSERT_TRUE(data.Append(T4(r_)).ok());
+  AttrSet trusted = Attrs(r_, {"AC", "phn", "type", "zip"});
+  BatchRepairResult sequential = BatchRepair(*sat_).Repair(data, trusted);
+  RepairOptions options;
+  options.num_threads = 8;
+  BatchRepairResult parallel =
+      BatchRepair(*sat_, options).Repair(data, trusted);
+  ExpectSameRepair(sequential, parallel, "3 rows, 8 threads");
+}
+
+TEST(BatchRepairHospTest, ParallelMatchesSequentialAtScale) {
+  SchemaPtr schema = HospWorkload::MakeSchema();
+  RuleSet rules = HospWorkload::MakeRules(schema);
+  Rng rng(9);
+  Relation master = HospWorkload::MakeMaster(schema, 300, &rng);
+  MasterIndex index(rules, master);
+  Saturator sat(rules, master, index);
+
+  AttrSet trusted;
+  trusted.Add(*schema->IndexOf("id"));
+  trusted.Add(*schema->IndexOf("mCode"));
+  DirtyGenOptions gen_options;
+  gen_options.duplicate_rate = 0.6;  // mix of fixable and untouchable rows
+  gen_options.noise_rate = 0.4;
+  gen_options.protected_attrs = trusted;
+  gen_options.seed = 31;
+  Rng rng2(77);
+  Relation non_master = HospWorkload::MakeMaster(schema, 150, &rng2, 500000);
+  DirtyGenerator gen(master, non_master, gen_options);
+
+  Relation dirty(schema);
+  for (const DirtyPair& pair : gen.Generate(101)) {  // odd row count
+    ASSERT_TRUE(dirty.Append(pair.dirty).ok());
+  }
+
+  BatchRepairResult sequential = BatchRepair(sat).Repair(dirty, trusted);
+  for (size_t threads : {1, 2, 8}) {
+    RepairOptions options;
+    options.num_threads = threads;
+    BatchRepairResult parallel =
+        BatchRepair(sat, options).Repair(dirty, trusted);
+    ExpectSameRepair(sequential, parallel,
+                     "threads=" + std::to_string(threads));
+  }
+}
+
 TEST(BatchRepairHospTest, EmptyRelation) {
   SchemaPtr schema = HospWorkload::MakeSchema();
   RuleSet rules = HospWorkload::MakeRules(schema);

@@ -123,9 +123,51 @@ TEST_F(CliTest, RepairFixesAndWritesOutput) {
   EXPECT_EQ(repaired->at(1).at(1).as_string(), "000");
 }
 
+TEST_F(CliTest, RepairThreadsFlagMatchesSequentialOutput) {
+  ASSERT_EQ(Run({"repair", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--trusted",
+                 "zip,name", "--output", output_path_}),
+            0)
+      << err_.str();
+  std::string sequential = out_.str();
+  Result<Relation> seq_rel = ReadCsvFileInferSchema("Out", output_path_);
+  ASSERT_TRUE(seq_rel.ok());
+
+  std::string parallel_path = dir_ + "/out_mt.csv";
+  ASSERT_EQ(Run({"repair", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--trusted",
+                 "zip,name", "--output", parallel_path, "--threads", "4",
+                 "--chunk-size", "1"}),
+            0)
+      << err_.str();
+  EXPECT_EQ(out_.str().substr(0, out_.str().find("written to")),
+            sequential.substr(0, sequential.find("written to")));
+  Result<Relation> par_rel = ReadCsvFileInferSchema("Out", parallel_path);
+  ASSERT_TRUE(par_rel.ok());
+  ASSERT_EQ(par_rel->size(), seq_rel->size());
+  for (size_t i = 0; i < seq_rel->size(); ++i) {
+    EXPECT_EQ(par_rel->at(i), seq_rel->at(i)) << "row " << i;
+  }
+}
+
 TEST_F(CliTest, RepairMissingFlagsFail) {
   EXPECT_EQ(Run({"repair", "--master", master_path_, "--rules",
                  rules_path_}),
+            1);
+}
+
+TEST_F(CliTest, RepairRejectsNonNumericThreads) {
+  for (const char* bad : {"four", "-1", "2x", ""}) {
+    EXPECT_EQ(Run({"repair", "--master", master_path_, "--rules",
+                   rules_path_, "--input", input_path_, "--trusted",
+                   "zip,name", "--threads", bad}),
+              1)
+        << "value '" << bad << "'";
+    EXPECT_NE(err_.str().find("non-negative integer"), std::string::npos);
+  }
+  EXPECT_EQ(Run({"repair", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--trusted",
+                 "zip,name", "--chunk-size", "oops"}),
             1);
 }
 

@@ -1,0 +1,112 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace certfix {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum += i; });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted; must not block
+  EXPECT_EQ(pool.num_threads(), 2u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Submit([] {});
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool stays usable after a failed wave.
+  std::atomic<int> ok{0};
+  pool.Submit([&ok] { ++ok; });
+  pool.Wait();
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesChunkException) {
+  auto boom = [](size_t k, size_t, size_t) {
+    if (k == 3) throw std::runtime_error("chunk failure");
+  };
+  EXPECT_THROW(ParallelFor(10, 4, 1, boom), std::runtime_error);
+  EXPECT_THROW(ParallelFor(10, 1, 1, boom), std::runtime_error);  // inline
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1, 2, 8}) {
+    for (size_t chunk : {0, 1, 3, 100}) {
+      std::vector<int> hits(17, 0);
+      ParallelFor(hits.size(), threads, chunk,
+                  [&hits](size_t, size_t begin, size_t end) {
+                    for (size_t i = begin; i < end; ++i) ++hits[i];
+                  });
+      EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 17)
+          << "threads=" << threads << " chunk=" << chunk;
+      for (size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkIndexingIsDeterministic) {
+  // Chunk k must cover [k*size, min((k+1)*size, n)) so per-chunk results
+  // merge in a scheduling-independent order.
+  size_t n = 10, threads = 4, chunk = 3;
+  ASSERT_EQ(ResolveChunkSize(n, threads, chunk), 3u);
+  ASSERT_EQ(NumChunks(n, threads, chunk), 4u);
+  std::vector<std::pair<size_t, size_t>> ranges(4);
+  ParallelFor(n, threads, chunk,
+              [&ranges](size_t k, size_t begin, size_t end) {
+                ranges[k] = {begin, end};
+              });
+  EXPECT_EQ(ranges[0], (std::pair<size_t, size_t>{0, 3}));
+  EXPECT_EQ(ranges[1], (std::pair<size_t, size_t>{3, 6}));
+  EXPECT_EQ(ranges[2], (std::pair<size_t, size_t>{6, 9}));
+  EXPECT_EQ(ranges[3], (std::pair<size_t, size_t>{9, 10}));
+}
+
+TEST(ParallelForTest, EmptyRangeAndZeroDefaults) {
+  bool called = false;
+  ParallelFor(0, 4, 0, [&called](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(NumChunks(0, 4, 0), 0u);
+  // chunk_size 0 divides evenly over the workers.
+  EXPECT_EQ(ResolveChunkSize(100, 4, 0), 25u);
+  // n <= threads degenerates to one index per chunk at most.
+  EXPECT_EQ(ResolveChunkSize(3, 8, 0), 3u);
+  EXPECT_GE(DefaultParallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace certfix
