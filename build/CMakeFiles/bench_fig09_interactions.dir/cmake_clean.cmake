@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_interactions.dir/bench/bench_fig09_interactions.cc.o"
+  "CMakeFiles/bench_fig09_interactions.dir/bench/bench_fig09_interactions.cc.o.d"
+  "bench/bench_fig09_interactions"
+  "bench/bench_fig09_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_attr_fmeasure.dir/bench/bench_fig11_attr_fmeasure.cc.o"
+  "CMakeFiles/bench_fig11_attr_fmeasure.dir/bench/bench_fig11_attr_fmeasure.cc.o.d"
+  "bench/bench_fig11_attr_fmeasure"
+  "bench/bench_fig11_attr_fmeasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_attr_fmeasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_initial_suggestion.dir/bench/bench_initial_suggestion.cc.o"
+  "CMakeFiles/bench_initial_suggestion.dir/bench/bench_initial_suggestion.cc.o.d"
+  "bench/bench_initial_suggestion"
+  "bench/bench_initial_suggestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_initial_suggestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

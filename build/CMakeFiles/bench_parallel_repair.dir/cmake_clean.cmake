@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_repair.dir/bench/bench_parallel_repair.cc.o"
+  "CMakeFiles/bench_parallel_repair.dir/bench/bench_parallel_repair.cc.o.d"
+  "bench/bench_parallel_repair"
+  "bench/bench_parallel_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

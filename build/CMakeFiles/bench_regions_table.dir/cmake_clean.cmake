@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regions_table.dir/bench/bench_regions_table.cc.o"
+  "CMakeFiles/bench_regions_table.dir/bench/bench_regions_table.cc.o.d"
+  "bench/bench_regions_table"
+  "bench/bench_regions_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regions_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfd/cfd.cc" "CMakeFiles/certfix.dir/src/cfd/cfd.cc.o" "gcc" "CMakeFiles/certfix.dir/src/cfd/cfd.cc.o.d"
+  "/root/repo/src/cfd/violation.cc" "CMakeFiles/certfix.dir/src/cfd/violation.cc.o" "gcc" "CMakeFiles/certfix.dir/src/cfd/violation.cc.o.d"
+  "/root/repo/src/core/applicable_rules.cc" "CMakeFiles/certfix.dir/src/core/applicable_rules.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/applicable_rules.cc.o.d"
+  "/root/repo/src/core/batch_repair.cc" "CMakeFiles/certfix.dir/src/core/batch_repair.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/batch_repair.cc.o.d"
+  "/root/repo/src/core/certain_fix.cc" "CMakeFiles/certfix.dir/src/core/certain_fix.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/certain_fix.cc.o.d"
+  "/root/repo/src/core/consistency.cc" "CMakeFiles/certfix.dir/src/core/consistency.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/consistency.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "CMakeFiles/certfix.dir/src/core/coverage.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/coverage.cc.o.d"
+  "/root/repo/src/core/cregion.cc" "CMakeFiles/certfix.dir/src/core/cregion.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/cregion.cc.o.d"
+  "/root/repo/src/core/dependency_graph.cc" "CMakeFiles/certfix.dir/src/core/dependency_graph.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/dependency_graph.cc.o.d"
+  "/root/repo/src/core/direct_fix.cc" "CMakeFiles/certfix.dir/src/core/direct_fix.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/direct_fix.cc.o.d"
+  "/root/repo/src/core/exhaustive.cc" "CMakeFiles/certfix.dir/src/core/exhaustive.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/exhaustive.cc.o.d"
+  "/root/repo/src/core/fix_state.cc" "CMakeFiles/certfix.dir/src/core/fix_state.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/fix_state.cc.o.d"
+  "/root/repo/src/core/master_index.cc" "CMakeFiles/certfix.dir/src/core/master_index.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/master_index.cc.o.d"
+  "/root/repo/src/core/region.cc" "CMakeFiles/certfix.dir/src/core/region.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/region.cc.o.d"
+  "/root/repo/src/core/saturation.cc" "CMakeFiles/certfix.dir/src/core/saturation.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/saturation.cc.o.d"
+  "/root/repo/src/core/suggest.cc" "CMakeFiles/certfix.dir/src/core/suggest.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/suggest.cc.o.d"
+  "/root/repo/src/core/suggestion_cache.cc" "CMakeFiles/certfix.dir/src/core/suggestion_cache.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/suggestion_cache.cc.o.d"
+  "/root/repo/src/core/transfix.cc" "CMakeFiles/certfix.dir/src/core/transfix.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/transfix.cc.o.d"
+  "/root/repo/src/core/user.cc" "CMakeFiles/certfix.dir/src/core/user.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/user.cc.o.d"
+  "/root/repo/src/core/zproblems.cc" "CMakeFiles/certfix.dir/src/core/zproblems.cc.o" "gcc" "CMakeFiles/certfix.dir/src/core/zproblems.cc.o.d"
+  "/root/repo/src/mining/rule_miner.cc" "CMakeFiles/certfix.dir/src/mining/rule_miner.cc.o" "gcc" "CMakeFiles/certfix.dir/src/mining/rule_miner.cc.o.d"
+  "/root/repo/src/pattern/pattern_tuple.cc" "CMakeFiles/certfix.dir/src/pattern/pattern_tuple.cc.o" "gcc" "CMakeFiles/certfix.dir/src/pattern/pattern_tuple.cc.o.d"
+  "/root/repo/src/pattern/pattern_value.cc" "CMakeFiles/certfix.dir/src/pattern/pattern_value.cc.o" "gcc" "CMakeFiles/certfix.dir/src/pattern/pattern_value.cc.o.d"
+  "/root/repo/src/pattern/tableau.cc" "CMakeFiles/certfix.dir/src/pattern/tableau.cc.o" "gcc" "CMakeFiles/certfix.dir/src/pattern/tableau.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "CMakeFiles/certfix.dir/src/relational/csv.cc.o" "gcc" "CMakeFiles/certfix.dir/src/relational/csv.cc.o.d"
+  "/root/repo/src/relational/key_index.cc" "CMakeFiles/certfix.dir/src/relational/key_index.cc.o" "gcc" "CMakeFiles/certfix.dir/src/relational/key_index.cc.o.d"
+  "/root/repo/src/relational/multi_master.cc" "CMakeFiles/certfix.dir/src/relational/multi_master.cc.o" "gcc" "CMakeFiles/certfix.dir/src/relational/multi_master.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "CMakeFiles/certfix.dir/src/relational/relation.cc.o" "gcc" "CMakeFiles/certfix.dir/src/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "CMakeFiles/certfix.dir/src/relational/schema.cc.o" "gcc" "CMakeFiles/certfix.dir/src/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "CMakeFiles/certfix.dir/src/relational/tuple.cc.o" "gcc" "CMakeFiles/certfix.dir/src/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "CMakeFiles/certfix.dir/src/relational/value.cc.o" "gcc" "CMakeFiles/certfix.dir/src/relational/value.cc.o.d"
+  "/root/repo/src/repair/cost_model.cc" "CMakeFiles/certfix.dir/src/repair/cost_model.cc.o" "gcc" "CMakeFiles/certfix.dir/src/repair/cost_model.cc.o.d"
+  "/root/repo/src/repair/equivalence.cc" "CMakeFiles/certfix.dir/src/repair/equivalence.cc.o" "gcc" "CMakeFiles/certfix.dir/src/repair/equivalence.cc.o.d"
+  "/root/repo/src/repair/increp.cc" "CMakeFiles/certfix.dir/src/repair/increp.cc.o" "gcc" "CMakeFiles/certfix.dir/src/repair/increp.cc.o.d"
+  "/root/repo/src/rules/editing_rule.cc" "CMakeFiles/certfix.dir/src/rules/editing_rule.cc.o" "gcc" "CMakeFiles/certfix.dir/src/rules/editing_rule.cc.o.d"
+  "/root/repo/src/rules/rule_parser.cc" "CMakeFiles/certfix.dir/src/rules/rule_parser.cc.o" "gcc" "CMakeFiles/certfix.dir/src/rules/rule_parser.cc.o.d"
+  "/root/repo/src/rules/rule_set.cc" "CMakeFiles/certfix.dir/src/rules/rule_set.cc.o" "gcc" "CMakeFiles/certfix.dir/src/rules/rule_set.cc.o.d"
+  "/root/repo/src/solver/reductions.cc" "CMakeFiles/certfix.dir/src/solver/reductions.cc.o" "gcc" "CMakeFiles/certfix.dir/src/solver/reductions.cc.o.d"
+  "/root/repo/src/solver/sat.cc" "CMakeFiles/certfix.dir/src/solver/sat.cc.o" "gcc" "CMakeFiles/certfix.dir/src/solver/sat.cc.o.d"
+  "/root/repo/src/tools/cli.cc" "CMakeFiles/certfix.dir/src/tools/cli.cc.o" "gcc" "CMakeFiles/certfix.dir/src/tools/cli.cc.o.d"
+  "/root/repo/src/util/edit_distance.cc" "CMakeFiles/certfix.dir/src/util/edit_distance.cc.o" "gcc" "CMakeFiles/certfix.dir/src/util/edit_distance.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/certfix.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/certfix.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "CMakeFiles/certfix.dir/src/util/random.cc.o" "gcc" "CMakeFiles/certfix.dir/src/util/random.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "CMakeFiles/certfix.dir/src/util/string_util.cc.o" "gcc" "CMakeFiles/certfix.dir/src/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/certfix.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/certfix.dir/src/util/thread_pool.cc.o.d"
+  "/root/repo/src/workload/dblp.cc" "CMakeFiles/certfix.dir/src/workload/dblp.cc.o" "gcc" "CMakeFiles/certfix.dir/src/workload/dblp.cc.o.d"
+  "/root/repo/src/workload/dirty_gen.cc" "CMakeFiles/certfix.dir/src/workload/dirty_gen.cc.o" "gcc" "CMakeFiles/certfix.dir/src/workload/dirty_gen.cc.o.d"
+  "/root/repo/src/workload/experiment.cc" "CMakeFiles/certfix.dir/src/workload/experiment.cc.o" "gcc" "CMakeFiles/certfix.dir/src/workload/experiment.cc.o.d"
+  "/root/repo/src/workload/hosp.cc" "CMakeFiles/certfix.dir/src/workload/hosp.cc.o" "gcc" "CMakeFiles/certfix.dir/src/workload/hosp.cc.o.d"
+  "/root/repo/src/workload/metrics.cc" "CMakeFiles/certfix.dir/src/workload/metrics.cc.o" "gcc" "CMakeFiles/certfix.dir/src/workload/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certfix_cli.dir/examples/certfix_cli.cpp.o"
+  "CMakeFiles/certfix_cli.dir/examples/certfix_cli.cpp.o.d"
+  "examples/certfix_cli"
+  "examples/certfix_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certfix_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_enrichment.dir/examples/dblp_enrichment.cpp.o"
+  "CMakeFiles/dblp_enrichment.dir/examples/dblp_enrichment.cpp.o.d"
+  "examples/dblp_enrichment"
+  "examples/dblp_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

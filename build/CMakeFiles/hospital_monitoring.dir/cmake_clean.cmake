@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_monitoring.dir/examples/hospital_monitoring.cpp.o"
+  "CMakeFiles/hospital_monitoring.dir/examples/hospital_monitoring.cpp.o.d"
+  "examples/hospital_monitoring"
+  "examples/hospital_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_analysis.dir/examples/rule_analysis.cpp.o"
+  "CMakeFiles/rule_analysis.dir/examples/rule_analysis.cpp.o.d"
+  "examples/rule_analysis"
+  "examples/rule_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/applicable_rules_test.dir/applicable_rules_test.cc.o"
+  "CMakeFiles/applicable_rules_test.dir/applicable_rules_test.cc.o.d"
+  "applicable_rules_test"
+  "applicable_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/applicable_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

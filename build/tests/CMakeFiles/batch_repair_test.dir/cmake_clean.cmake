@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_repair_test.dir/batch_repair_test.cc.o"
+  "CMakeFiles/batch_repair_test.dir/batch_repair_test.cc.o.d"
+  "batch_repair_test"
+  "batch_repair_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

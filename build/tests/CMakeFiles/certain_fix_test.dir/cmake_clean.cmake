@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certain_fix_test.dir/certain_fix_test.cc.o"
+  "CMakeFiles/certain_fix_test.dir/certain_fix_test.cc.o.d"
+  "certain_fix_test"
+  "certain_fix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certain_fix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cregion_test.dir/cregion_test.cc.o"
+  "CMakeFiles/cregion_test.dir/cregion_test.cc.o.d"
+  "cregion_test"
+  "cregion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cregion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

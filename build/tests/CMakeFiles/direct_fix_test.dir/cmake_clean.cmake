@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_fix_test.dir/direct_fix_test.cc.o"
+  "CMakeFiles/direct_fix_test.dir/direct_fix_test.cc.o.d"
+  "direct_fix_test"
+  "direct_fix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_fix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_state_test.dir/fix_state_test.cc.o"
+  "CMakeFiles/fix_state_test.dir/fix_state_test.cc.o.d"
+  "fix_state_test"
+  "fix_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

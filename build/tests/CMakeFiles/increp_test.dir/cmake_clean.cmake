@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/increp_test.dir/increp_test.cc.o"
+  "CMakeFiles/increp_test.dir/increp_test.cc.o.d"
+  "increp_test"
+  "increp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/increp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

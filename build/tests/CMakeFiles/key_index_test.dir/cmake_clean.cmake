@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_index_test.dir/key_index_test.cc.o"
+  "CMakeFiles/key_index_test.dir/key_index_test.cc.o.d"
+  "key_index_test"
+  "key_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_master_test.dir/multi_master_test.cc.o"
+  "CMakeFiles/multi_master_test.dir/multi_master_test.cc.o.d"
+  "multi_master_test"
+  "multi_master_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_parser_test.dir/rule_parser_test.cc.o"
+  "CMakeFiles/rule_parser_test.dir/rule_parser_test.cc.o.d"
+  "rule_parser_test"
+  "rule_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saturation_test.dir/saturation_test.cc.o"
+  "CMakeFiles/saturation_test.dir/saturation_test.cc.o.d"
+  "saturation_test"
+  "saturation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saturation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suggestion_cache_test.dir/suggestion_cache_test.cc.o"
+  "CMakeFiles/suggestion_cache_test.dir/suggestion_cache_test.cc.o.d"
+  "suggestion_cache_test"
+  "suggestion_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suggestion_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

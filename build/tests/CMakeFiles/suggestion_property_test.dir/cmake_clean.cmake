@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suggestion_property_test.dir/suggestion_property_test.cc.o"
+  "CMakeFiles/suggestion_property_test.dir/suggestion_property_test.cc.o.d"
+  "suggestion_property_test"
+  "suggestion_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suggestion_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfix_test.dir/transfix_test.cc.o"
+  "CMakeFiles/transfix_test.dir/transfix_test.cc.o.d"
+  "transfix_test"
+  "transfix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

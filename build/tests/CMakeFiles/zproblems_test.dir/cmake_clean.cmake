@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zproblems_test.dir/zproblems_test.cc.o"
+  "CMakeFiles/zproblems_test.dir/zproblems_test.cc.o.d"
+  "zproblems_test"
+  "zproblems_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zproblems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
