@@ -4,8 +4,17 @@
 /// check, TransFix, applicable-rule derivation, suggestion generation, and
 /// one IncRep pass. These back the complexity claims of Sects. 4-5
 /// (TransFix O(|Sigma|^2), Suggest O(|Sigma|^2 |Dm| log |Dm|)).
+///
+/// The Interned* / StringKey* group measures the storage layer itself:
+/// id-keyed index probes (ValuePool interning) against the legacy
+/// rendered-string keys they replaced. Machine-readable output:
+///   bench_micro --benchmark_out=BENCH_micro.json --benchmark_out_format=json
+/// (the CI release job publishes BENCH_micro.json as an artifact).
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <unordered_map>
 
 #include "core/certain_fix.h"
 #include "repair/increp.h"
@@ -132,6 +141,72 @@ void BM_RegionPrecomputation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RegionPrecomputation)->Arg(1000);
+
+// --- Storage layer: interned ids vs. rendered string keys ---
+
+// Legacy probe path (what KeyIndex did before the ValuePool refactor):
+// render the projection to a "v1\x1fv2" string per probe and hash it.
+void BM_StringKeyProbe(benchmark::State& state) {
+  Fixture& f = SharedFixture(static_cast<size_t>(state.range(0)));
+  const std::vector<AttrId>& key = f.rules.at(0).lhsm();
+  std::unordered_map<std::string, std::vector<size_t>> map;
+  for (size_t i = 0; i < f.master.size(); ++i) {
+    map[ProjectKey(f.master.at(i), key)].push_back(i);
+  }
+  const std::vector<AttrId>& probe_attrs = f.rules.at(0).lhs();
+  size_t hits = 0;
+  for (auto _ : state) {
+    auto it = map.find(ProjectKey(f.probe, probe_attrs));
+    if (it != map.end()) hits += it->second.size();
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_StringKeyProbe)->Arg(1000)->Arg(10000);
+
+// Interned probe, probe tuple sharing the master pool: integer key hash.
+void BM_InternedKeyProbe(benchmark::State& state) {
+  Fixture& f = SharedFixture(static_cast<size_t>(state.range(0)));
+  KeyIndex index(f.master, f.rules.at(0).lhsm());
+  const std::vector<AttrId>& probe_attrs = f.rules.at(0).lhs();
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits += index.LookupTuple(f.probe, probe_attrs).size();
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_InternedKeyProbe)->Arg(1000)->Arg(10000);
+
+// Interned probe from a foreign pool through a memoized PoolBridge (the
+// BatchRepair shard path: each distinct value hashed once, then ids).
+void BM_InternedKeyProbeBridged(benchmark::State& state) {
+  Fixture& f = SharedFixture(static_cast<size_t>(state.range(0)));
+  KeyIndex index(f.master, f.rules.at(0).lhsm());
+  const std::vector<AttrId>& probe_attrs = f.rules.at(0).lhs();
+  PoolPtr local = std::make_shared<ValuePool>();
+  Tuple probe = f.probe.RebasedTo(local);
+  PoolBridge bridge(local.get(), f.master.pool().get());
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits += index.LookupTuple(probe, probe_attrs, &bridge).size();
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_InternedKeyProbeBridged)->Arg(1000)->Arg(10000);
+
+// Value interning throughput (dictionary insert-or-hit mix).
+void BM_ValuePoolIntern(benchmark::State& state) {
+  std::vector<Value> values;
+  for (int i = 0; i < 4096; ++i) {
+    values.push_back(Value::Str("value_" + std::to_string(i % 1024)));
+  }
+  size_t k = 0;
+  ValuePool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Intern(values[k]));
+    k = (k + 1) & 4095;
+  }
+}
+BENCHMARK(BM_ValuePoolIntern);
 
 void BM_IncRepPass(benchmark::State& state) {
   Fixture& f = SharedFixture(1000);

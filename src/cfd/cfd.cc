@@ -48,10 +48,28 @@ bool Cfd::MatchesLhs(const Tuple& t) const {
   return true;
 }
 
+bool Cfd::MatchesLhs(const Relation& rel, size_t row) const {
+  // cells() lookups avoid the Value copy a Get() call would make.
+  for (AttrId a : x_) {
+    auto it = tp_.cells().find(a);
+    if (it != tp_.cells().end() && !it->second.Matches(rel.Cell(row, a))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool Cfd::ViolatedBy(const Tuple& t) const {
   if (!IsConstant()) return false;
   if (!MatchesLhs(t)) return false;
   return t.at(b_) != tp_.Get(b_).value();
+}
+
+bool Cfd::ViolatedBy(const Relation& rel, size_t row) const {
+  auto itb = tp_.cells().find(b_);
+  if (itb == tp_.cells().end() || !itb->second.is_const()) return false;
+  if (!MatchesLhs(rel, row)) return false;
+  return rel.Cell(row, b_) != itb->second.value();
 }
 
 bool Cfd::ViolatedBy(const Tuple& t1, const Tuple& t2) const {

@@ -10,6 +10,7 @@
 
 #include "pattern/pattern_tuple.h"
 #include "relational/attr_set.h"
+#include "relational/relation.h"
 #include "relational/schema.h"
 #include "util/result.h"
 
@@ -44,10 +45,14 @@ class Cfd {
 
   /// Whether the tuple matches the lhs part of the pattern tp[X].
   bool MatchesLhs(const Tuple& t) const;
+  /// Same test on a stored row, without materializing a row view.
+  bool MatchesLhs(const Relation& rel, size_t row) const;
 
   /// For a constant CFD: the single-tuple violation test (t matches tp[X]
   /// but t[B] != tp[B]).
   bool ViolatedBy(const Tuple& t) const;
+  /// Same test on a stored row, without materializing a row view.
+  bool ViolatedBy(const Relation& rel, size_t row) const;
 
   /// For a variable CFD: the pair violation test (both match tp[X], agree
   /// on X, but differ on B or mismatch a constant tp[B]).

@@ -11,7 +11,7 @@ std::vector<Violation> DetectViolations(const CfdSet& cfds,
     const Cfd& cfd = cfds.at(c);
     if (cfd.IsConstant()) {
       for (size_t i = 0; i < rel.size(); ++i) {
-        if (cfd.ViolatedBy(rel.at(i))) {
+        if (cfd.ViolatedBy(rel, i)) {
           out.push_back(Violation{c, i, -1, cfd.rhs()});
         }
       }
@@ -19,18 +19,22 @@ std::vector<Violation> DetectViolations(const CfdSet& cfds,
     }
     // Variable CFD: group tp[X]-matching tuples by t[X]; within a group,
     // report every tuple that disagrees with the group representative.
-    std::unordered_map<std::string, std::vector<size_t>> groups;
+    std::unordered_map<IdKey, std::vector<size_t>, IdKeyHash> groups;
+    IdKey key(cfd.lhs().size());
     for (size_t i = 0; i < rel.size(); ++i) {
-      if (cfd.MatchesLhs(rel.at(i))) {
-        groups[ProjectKey(rel.at(i), cfd.lhs())].push_back(i);
+      if (cfd.MatchesLhs(rel, i)) {
+        for (size_t k = 0; k < cfd.lhs().size(); ++k) {
+          key[k] = rel.CellId(i, cfd.lhs()[k]);
+        }
+        groups[key].push_back(i);
       }
     }
-    for (const auto& [key, members] : groups) {
-      (void)key;
+    for (const auto& [gkey, members] : groups) {
+      (void)gkey;
       if (members.size() < 2) continue;
       size_t rep = members[0];
       for (size_t k = 1; k < members.size(); ++k) {
-        if (rel.at(members[k]).at(cfd.rhs()) != rel.at(rep).at(cfd.rhs())) {
+        if (rel.CellId(members[k], cfd.rhs()) != rel.CellId(rep, cfd.rhs())) {
           out.push_back(Violation{c, rep, static_cast<long>(members[k]),
                                   cfd.rhs()});
         }

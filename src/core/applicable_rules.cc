@@ -48,12 +48,11 @@ ApplicableRules DeriveApplicableRules(const RuleSet& sigma,
     const std::vector<size_t>& candidates = cache->Lookup(m_key, t, r_key);
     bool has_master = false;
     for (size_t m : candidates) {
-      const Tuple& tm = dm.at(m);
       bool match = true;
       for (size_t p = 0; p < rule.lhs().size(); ++p) {
         AttrId a = rule.lhs()[p];
         PatternValue pv = rule.pattern().Get(a);
-        if (!pv.is_wildcard() && !pv.Matches(tm.at(rule.lhsm()[p]))) {
+        if (!pv.is_wildcard() && !pv.Matches(dm.Cell(m, rule.lhsm()[p]))) {
           match = false;
           break;
         }

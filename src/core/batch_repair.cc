@@ -6,24 +6,32 @@ namespace certfix {
 
 void BatchRepair::RepairRange(const Relation& data, AttrSet trusted,
                               AttrSet all, size_t begin, size_t end,
-                              Relation* repaired,
-                              ShardCounters* counters) const {
+                              const PoolPtr& local_pool,
+                              ShardResult* out) const {
+  // One bridge for the whole range: every row's cells live in the same
+  // pool (the shard-local one, or the input's on the sequential path), so
+  // each distinct value is hashed into master-pool id space once.
+  const PoolPtr& probe_pool = local_pool != nullptr ? local_pool : data.pool();
+  PoolBridge bridge(probe_pool.get(), sat_->index().pool().get());
   for (size_t i = begin; i < end; ++i) {
-    SaturationResult fix = sat_->CheckUniqueFix(data.at(i), trusted);
+    Tuple row = local_pool != nullptr ? data.at(i).RebasedTo(local_pool)
+                                      : data.at(i);
+    SaturationResult fix = sat_->CheckUniqueFix(row, trusted, &bridge);
     if (!fix.unique) {
-      ++counters->conflicting;
-      counters->conflict_rows.push_back(i);
+      ++out->conflicting;
+      out->conflict_rows.push_back(i);
       continue;
     }
-    counters->cells_changed += data.at(i).DiffCount(fix.fixed);
+    size_t diff = row.DiffCount(fix.fixed);
+    out->cells_changed += diff;
     if (fix.covered == all) {
-      ++counters->fully_covered;
+      ++out->fully_covered;
     } else if (fix.covered != trusted) {
-      ++counters->partial;
+      ++out->partial;
     } else {
-      ++counters->untouched;
+      ++out->untouched;
     }
-    repaired->at(i) = std::move(fix.fixed);
+    if (diff > 0) out->changed.emplace_back(i, std::move(fix.fixed));
   }
 }
 
@@ -35,34 +43,27 @@ BatchRepairResult BatchRepair::Repair(const Relation& data,
 
   size_t threads = options_.num_threads == 0 ? DefaultParallelism()
                                              : options_.num_threads;
+  std::vector<ShardResult> shards;
   if (threads <= 1) {
-    // Sequential reference path: the original tuple-at-a-time loop.
-    ShardCounters counters;
-    RepairRange(data, trusted, all, 0, data.size(), &result.repaired,
-                &counters);
-    result.tuples_fully_covered = counters.fully_covered;
-    result.tuples_partial = counters.partial;
-    result.tuples_untouched = counters.untouched;
-    result.tuples_conflicting = counters.conflicting;
-    result.cells_changed = counters.cells_changed;
-    result.conflict_rows = std::move(counters.conflict_rows);
-    return result;
+    // Sequential reference path: the original tuple-at-a-time loop, no
+    // rebasing (rows keep interning into the shared input pool).
+    shards.resize(1);
+    RepairRange(data, trusted, all, 0, data.size(), nullptr, &shards[0]);
+  } else {
+    // Partition -> repair-shard -> deterministic merge. Shards are
+    // contiguous row ranges; each worker interns into its own local pool
+    // and fills its own ShardResult slot, so no pool is written
+    // concurrently. Merging in shard order makes the output, counters,
+    // and conflict_rows independent of scheduling.
+    shards.resize(NumChunks(data.size(), threads, options_.chunk_size));
+    ParallelFor(data.size(), threads, options_.chunk_size,
+                [&](size_t chunk, size_t begin, size_t end) {
+                  PoolPtr local = std::make_shared<ValuePool>();
+                  RepairRange(data, trusted, all, begin, end, local,
+                              &shards[chunk]);
+                });
   }
-
-  // Partition -> repair-shard -> deterministic merge. Shards are
-  // contiguous row ranges; workers write disjoint rows of `repaired` and
-  // their own counter slot, so no synchronization beyond the pool's own
-  // is needed. Merging in shard order makes counters and conflict_rows
-  // independent of scheduling.
-  size_t n = data.size();
-  std::vector<ShardCounters> shards(
-      NumChunks(n, threads, options_.chunk_size));
-  ParallelFor(n, threads, options_.chunk_size,
-              [&](size_t chunk, size_t begin, size_t end) {
-                RepairRange(data, trusted, all, begin, end, &result.repaired,
-                            &shards[chunk]);
-              });
-  for (const ShardCounters& s : shards) {
+  for (ShardResult& s : shards) {
     result.tuples_fully_covered += s.fully_covered;
     result.tuples_partial += s.partial;
     result.tuples_untouched += s.untouched;
@@ -71,6 +72,11 @@ BatchRepairResult BatchRepair::Repair(const Relation& data,
     result.conflict_rows.insert(result.conflict_rows.end(),
                                 s.conflict_rows.begin(),
                                 s.conflict_rows.end());
+    // SetRow re-interns only cells that differ, so shard-local ids merge
+    // into the output pool at cost proportional to the repair size.
+    for (const auto& [row, fixed] : s.changed) {
+      result.repaired.SetRow(row, fixed);
+    }
   }
   return result;
 }

@@ -18,9 +18,16 @@
 /// row-range shards, each shard is repaired by a pool worker
 /// (util/thread_pool.h), and shard results are merged in row order, so
 /// the output — repaired relation, every counter, and the order of
-/// `conflict_rows` — is bit-identical to the sequential
-/// `num_threads == 1` path, which still runs the original
-/// tuple-at-a-time loop.
+/// `conflict_rows` — is value-identical (byte-identical under WriteCsv)
+/// to the sequential `num_threads == 1` path, which still runs the
+/// original tuple-at-a-time loop.
+///
+/// Interning contract (see value_pool.h): all shards share the master
+/// relation's immutable ValuePool read-only; each shard rebases its rows
+/// into a shard-local pool, interns every value its saturations produce
+/// locally, and the changed rows are merged back into the output
+/// relation's pool on the calling thread, in shard order. No pool is ever
+/// written concurrently.
 
 #ifndef CERTFIX_CORE_BATCH_REPAIR_H_
 #define CERTFIX_CORE_BATCH_REPAIR_H_
@@ -63,21 +70,30 @@ class BatchRepair {
   const RepairOptions& options() const { return options_; }
 
  private:
-  /// Per-shard tallies; `conflict_rows` holds absolute row positions.
-  struct ShardCounters {
+  /// Per-shard tallies and changed rows; `conflict_rows` and the row
+  /// positions in `changed` are absolute.
+  struct ShardResult {
     size_t fully_covered = 0;
     size_t partial = 0;
     size_t untouched = 0;
     size_t conflicting = 0;
     size_t cells_changed = 0;
     std::vector<size_t> conflict_rows;
+    /// Rows whose fix differs from the input, in row order.
+    std::vector<std::pair<size_t, Tuple>> changed;
   };
 
-  /// Repairs rows [begin, end) of `data` in place on `repaired` (only
-  /// those rows are touched, so disjoint shards never contend).
+  /// Repairs rows [begin, end) of `data` into `out`. With `local_pool`
+  /// set, each row is rebased into it first so all interning stays
+  /// shard-local; with it null (the sequential path) rows keep sharing
+  /// `data`'s pool. The eager per-row rebase costs one hash per cell even
+  /// for rows saturation never changes — the price of keeping pools
+  /// strictly single-writer. Deferring it needs copy-on-write tuple
+  /// pools (rebase on first applied move); candidate future optimization
+  /// if profiles show clean-row rebasing dominating parallel repair.
   void RepairRange(const Relation& data, AttrSet trusted, AttrSet all,
-                   size_t begin, size_t end, Relation* repaired,
-                   ShardCounters* counters) const;
+                   size_t begin, size_t end, const PoolPtr& local_pool,
+                   ShardResult* out) const;
 
   const Saturator* sat_;
   RepairOptions options_;

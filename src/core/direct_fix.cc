@@ -41,10 +41,9 @@ Result<std::vector<size_t>> DirectFixChecker::EvalQ(
   }
   std::vector<size_t> rows;
   for (size_t m = 0; m < dm_->size(); ++m) {
-    const Tuple& tm = dm_->at(m);
     bool match = true;
     for (const auto& [attr, pv] : master_conditions) {
-      if (!pv.Matches(tm.at(attr))) {
+      if (!pv.Matches(dm_->Cell(m, attr))) {
         match = false;
         break;
       }
@@ -86,23 +85,34 @@ Result<bool> DirectFixChecker::IsConsistent(
         m1.push_back(*r1.MasterAttrFor(a));
         m2.push_back(*r2.MasterAttrFor(a));
       }
-      // Hash-join q[i] and q[j] on the shared key; flag differing B values.
-      std::unordered_map<std::string, std::vector<size_t>> bucket;
+      // Hash-join q[i] and q[j] on the shared key; flag differing B
+      // values. Both sides index one relation (Dm), so keys and the B
+      // comparison are pool ids — no string rendering.
+      auto row_key = [this](size_t row, const std::vector<AttrId>& attrs) {
+        IdKey key(attrs.size());
+        for (size_t k = 0; k < attrs.size(); ++k) {
+          key[k] = dm_->CellId(row, attrs[k]);
+        }
+        return key;
+      };
+      std::unordered_map<IdKey, std::vector<size_t>, IdKeyHash> bucket;
       for (size_t row : q[i]) {
-        bucket[ProjectKey(dm_->at(row), m1)].push_back(row);
+        bucket[row_key(row, m1)].push_back(row);
       }
       for (size_t row2 : q[j]) {
-        auto it = bucket.find(ProjectKey(dm_->at(row2), m2));
+        auto it = bucket.find(row_key(row2, m2));
         if (it == bucket.end()) continue;
-        const Value& v2 = dm_->at(row2).at(r2.rhsm());
+        ValueId v2 = dm_->CellId(row2, r2.rhsm());
         for (size_t row1 : it->second) {
           if (i == j && row1 == row2) continue;
-          const Value& v1 = dm_->at(row1).at(r1.rhsm());
+          ValueId v1 = dm_->CellId(row1, r1.rhsm());
           if (v1 != v2) {
             consistent = false;
             if (witnesses != nullptr) {
-              witnesses->push_back(DirectFixWitness{sigma_z[i], sigma_z[j],
-                                                    r1.rhs(), v1, v2});
+              witnesses->push_back(
+                  DirectFixWitness{sigma_z[i], sigma_z[j], r1.rhs(),
+                                   dm_->Cell(row1, r1.rhsm()),
+                                   dm_->Cell(row2, r2.rhsm())});
             } else {
               return false;
             }

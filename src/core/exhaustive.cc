@@ -4,9 +4,8 @@ namespace certfix {
 
 std::set<Value> ActiveDomain(const RuleSet& rules, const Relation& dm) {
   std::set<Value> dom;
-  for (const Tuple& tm : dm) {
-    for (size_t i = 0; i < tm.size(); ++i) dom.insert(tm.at(static_cast<AttrId>(i)));
-  }
+  // Columnar scan: each distinct id is resolved to its value once.
+  for (const Value& v : dm.ActiveDomain()) dom.insert(v);
   for (const Value& v : rules.PatternConstants()) dom.insert(v);
   return dom;
 }

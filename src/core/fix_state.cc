@@ -14,14 +14,15 @@ bool FixState::IsEnabled(const RuleSet& rules, const Relation& dm,
 std::vector<FixMove> FixState::EnabledMoves(const RuleSet& rules,
                                             const MasterIndex& index) const {
   std::vector<FixMove> moves;
+  PoolBridge bridge(tuple_.pool().get(), index.pool().get());
   for (size_t i = 0; i < rules.size(); ++i) {
     const EditingRule& rule = rules.at(i);
     if (!rule.premise_set().SubsetOf(z_)) continue;
     if (z_.Contains(rule.rhs())) continue;
     if (!rule.pattern().Matches(tuple_)) continue;
-    for (size_t m : index.Candidates(i, tuple_)) {
+    for (size_t m : index.Candidates(i, tuple_, &bridge)) {
       moves.push_back(FixMove{i, m, rule.rhs(),
-                              index.master().at(m).at(rule.rhsm())});
+                              index.master().Cell(m, rule.rhsm())});
     }
   }
   return moves;

@@ -6,13 +6,12 @@ const MasterIndex::RhsSummary MasterIndex::kEmptySummary;
 
 namespace {
 
-void AddDistinct(MasterIndex::RhsSummary* summary, const Value& v,
+void AddDistinct(MasterIndex::RhsSummary* summary, const Value& v, ValueId id,
                  size_t row) {
-  for (const auto& [existing, rep] : *summary) {
-    (void)rep;
-    if (existing == v) return;
+  for (const MasterIndex::RhsValue& existing : *summary) {
+    if (existing.id == id) return;
   }
-  summary->emplace_back(v, row);
+  summary->push_back(MasterIndex::RhsValue{v, id, row});
 }
 
 }  // namespace
@@ -20,12 +19,19 @@ void AddDistinct(MasterIndex::RhsSummary* summary, const Value& v,
 std::shared_ptr<MasterIndex::ValueIndex> MasterIndex::BuildValueIndex(
     const Relation& dm, const std::vector<AttrId>& xm, AttrId bm) {
   auto vi = std::make_shared<ValueIndex>();
+  const std::vector<ValueId>& bm_col = dm.Column(bm);
+  std::vector<const std::vector<ValueId>*> key_cols;
+  key_cols.reserve(xm.size());
+  for (AttrId a : xm) key_cols.push_back(&dm.Column(a));
+  IdKey key(xm.size());
   for (size_t row = 0; row < dm.size(); ++row) {
-    const Value& v = dm.at(row).at(bm);
+    ValueId vid = bm_col[row];
+    const Value& v = dm.pool()->value(vid);
     if (xm.empty()) {
-      AddDistinct(&vi->all_rows_summary, v, row);
+      AddDistinct(&vi->all_rows_summary, v, vid, row);
     } else {
-      AddDistinct(&vi->map[ProjectKey(dm.at(row), xm)], v, row);
+      for (size_t k = 0; k < key_cols.size(); ++k) key[k] = (*key_cols[k])[row];
+      AddDistinct(&vi->map[key], v, vid, row);
     }
   }
   return vi;
@@ -105,19 +111,24 @@ MasterIndex::MasterIndex(const RuleSet& rules, const Relation& dm,
 }
 
 const std::vector<size_t>& MasterIndex::Candidates(size_t rule_idx,
-                                                   const Tuple& t) const {
+                                                   const Tuple& t,
+                                                   PoolBridge* bridge) const {
   int idx = rule_to_index_[rule_idx];
   if (idx < 0) return all_rows_;
-  return indexes_[static_cast<size_t>(idx)]->LookupTuple(t,
-                                                         probe_[rule_idx]);
+  return indexes_[static_cast<size_t>(idx)]->LookupTuple(t, probe_[rule_idx],
+                                                         bridge);
 }
 
-const MasterIndex::RhsSummary& MasterIndex::RhsValues(size_t rule_idx,
-                                                      const Tuple& t) const {
+const MasterIndex::RhsSummary& MasterIndex::RhsValues(
+    size_t rule_idx, const Tuple& t, PoolBridge* bridge) const {
   const ValueIndex& vi =
       *value_indexes_[static_cast<size_t>(rule_to_value_[rule_idx])];
   if (probe_[rule_idx].empty()) return vi.all_rows_summary;
-  auto it = vi.map.find(ProjectKey(t, probe_[rule_idx]));
+  thread_local IdKey key;  // reused across probes, no per-probe allocation
+  if (!ProjectIds(t, probe_[rule_idx], dm_->pool().get(), bridge, &key)) {
+    return kEmptySummary;
+  }
+  auto it = vi.map.find(key);
   return it == vi.map.end() ? kEmptySummary : it->second;
 }
 

@@ -33,11 +33,18 @@ namespace certfix {
 /// Thread safety: all index structures are built in the constructor and
 /// never mutated afterwards; Candidates / RhsValues are pure lookups, so
 /// a fully constructed MasterIndex is safe for concurrent read-only use
-/// (the parallel BatchRepair shards share one instance).
+/// (the parallel BatchRepair shards share one instance). A PoolBridge
+/// passed to the probe calls is per-thread state owned by the caller.
 class MasterIndex {
  public:
-  /// One distinct rhs value and a representative master row carrying it.
-  using RhsValue = std::pair<Value, size_t>;
+  /// One distinct rhs value tm[Bm] with its master-pool id and a
+  /// representative master row carrying it. The id lets the saturation
+  /// engine compare proposals as integers.
+  struct RhsValue {
+    Value value;
+    ValueId id = kNullValueId;
+    size_t row = 0;
+  };
   using RhsSummary = std::vector<RhsValue>;
 
   MasterIndex(const RuleSet& rules, const Relation& dm);
@@ -49,20 +56,24 @@ class MasterIndex {
 
   /// Master-row positions applicable to rule `rule_idx` given t's current
   /// values on lhs(phi) (pattern matching on t is the caller's concern).
-  const std::vector<size_t>& Candidates(size_t rule_idx,
-                                        const Tuple& t) const;
+  /// `bridge`, when given, must translate t's pool into the master pool.
+  const std::vector<size_t>& Candidates(size_t rule_idx, const Tuple& t,
+                                        PoolBridge* bridge = nullptr) const;
 
   /// Distinct values tm[Bm] over the candidate rows, each with one
   /// representative row. Size > 1 means conflicting master proposals.
-  const RhsSummary& RhsValues(size_t rule_idx, const Tuple& t) const;
+  const RhsSummary& RhsValues(size_t rule_idx, const Tuple& t,
+                              PoolBridge* bridge = nullptr) const;
 
   const Relation& master() const { return *dm_; }
+  /// The master relation's value pool (bridge targets point here).
+  const PoolPtr& pool() const { return dm_->pool(); }
   size_t num_rules() const { return rule_to_index_.size(); }
 
  private:
   struct ValueIndex {
-    // key -> distinct (value, representative row).
-    std::unordered_map<std::string, RhsSummary> map;
+    // key (master-pool ids) -> distinct (value, id, representative row).
+    std::unordered_map<IdKey, RhsSummary, IdKeyHash> map;
     RhsSummary all_rows_summary;  // for empty-X rules
   };
 

@@ -23,18 +23,26 @@ std::string FixConflict::ToString(const SchemaPtr& schema) const {
 }
 
 SaturationResult Saturator::Run(const Tuple& t, AttrSet z0, int excluded,
-                                std::vector<Value>* proposals) const {
+                                std::vector<Value>* proposals,
+                                PoolBridge* bridge) const {
   SaturationResult result;
   result.fixed = t;
   result.covered = z0;
   AttrSet z = z0;
 
   // One proposal per (attr, value); the map detects same-round conflicts.
+  // Proposed values are compared by master-pool id — every proposal comes
+  // out of the same MasterIndex, so id equality is value equality.
   struct Proposal {
     Value value;
+    ValueId id;
     size_t rule_idx;
     size_t master_idx;
   };
+  // Ids of values already appended to `proposals` this run (entries the
+  // caller passed in up front, if any, are compared by value below).
+  const size_t pre_existing = proposals == nullptr ? 0 : proposals->size();
+  std::vector<ValueId> proposal_ids;
 
   bool changed = true;
   while (changed) {
@@ -48,8 +56,9 @@ SaturationResult Saturator::Run(const Tuple& t, AttrSet z0, int excluded,
       if (!rule.pattern().Matches(result.fixed)) continue;
       // Distinct proposed values only: a key matched by many master rows
       // with the same Bm value yields a single (equivalent) proposal.
-      for (const auto& [value, rep] : index_->RhsValues(i, result.fixed)) {
-        round[b].push_back(Proposal{value, i, rep});
+      for (const MasterIndex::RhsValue& rv :
+           index_->RhsValues(i, result.fixed, bridge)) {
+        round[b].push_back(Proposal{rv.value, rv.id, i, rv.row});
       }
     }
     if (excluded >= 0) {
@@ -58,13 +67,19 @@ SaturationResult Saturator::Run(const Tuple& t, AttrSet z0, int excluded,
         if (proposals != nullptr) {
           for (const Proposal& p : it->second) {
             bool seen = false;
-            for (const Value& v : *proposals) {
-              if (v == p.value) {
+            for (ValueId id : proposal_ids) {
+              if (id == p.id) {
                 seen = true;
                 break;
               }
             }
-            if (!seen) proposals->push_back(p.value);
+            for (size_t k = 0; !seen && k < pre_existing; ++k) {
+              if ((*proposals)[k] == p.value) seen = true;
+            }
+            if (!seen) {
+              proposals->push_back(p.value);
+              proposal_ids.push_back(p.id);
+            }
           }
         }
         round.erase(it);
@@ -74,7 +89,7 @@ SaturationResult Saturator::Run(const Tuple& t, AttrSet z0, int excluded,
       // Same-round conflict check: all proposals must agree.
       const Proposal& first = props.front();
       for (size_t k = 1; k < props.size(); ++k) {
-        if (props[k].value != first.value) {
+        if (props[k].id != first.id) {
           result.unique = false;
           result.conflicts.push_back(FixConflict{attr, first.value,
                                                  props[k].value,
@@ -96,17 +111,22 @@ SaturationResult Saturator::Run(const Tuple& t, AttrSet z0, int excluded,
 }
 
 SaturationResult Saturator::Saturate(const Tuple& t, AttrSet z0) const {
-  return Run(t, z0, -1, nullptr);
+  PoolBridge bridge(t.pool().get(), index_->pool().get());
+  return Run(t, z0, -1, nullptr, &bridge);
 }
 
 SaturationResult Saturator::SaturateExcluding(
     const Tuple& t, AttrSet z0, AttrId excluded,
     std::vector<Value>* proposals) const {
-  return Run(t, z0, static_cast<int>(excluded), proposals);
+  PoolBridge bridge(t.pool().get(), index_->pool().get());
+  return Run(t, z0, static_cast<int>(excluded), proposals, &bridge);
 }
 
-SaturationResult Saturator::CheckUniqueFix(const Tuple& t, AttrSet z0) const {
-  SaturationResult full = Run(t, z0, -1, nullptr);
+SaturationResult Saturator::CheckUniqueFix(const Tuple& t, AttrSet z0,
+                                           PoolBridge* bridge) const {
+  PoolBridge local(t.pool().get(), index_->pool().get());
+  if (bridge == nullptr) bridge = &local;
+  SaturationResult full = Run(t, z0, -1, nullptr, bridge);
   if (!full.unique) return full;
   // Cross-round conflicts: for each attribute B that some move validated,
   // collect every value proposed for B by moves whose premises do not
@@ -114,7 +134,7 @@ SaturationResult Saturator::CheckUniqueFix(const Tuple& t, AttrSet z0) const {
   AttrSet targets = full.covered.Minus(z0);
   for (AttrId b : targets.ToVector()) {
     std::vector<Value> proposals;
-    SaturationResult excl = Run(t, z0, static_cast<int>(b), &proposals);
+    SaturationResult excl = Run(t, z0, static_cast<int>(b), &proposals, bridge);
     if (!excl.unique) {
       // Conflict on another attribute surfaced under this order; report.
       full.unique = false;

@@ -52,12 +52,20 @@ struct SaturationResult {
 /// \brief Saturation engine bound to (Sigma, Dm) plus its hash indexes.
 ///
 /// Thread safety: a fully constructed Saturator is safe for concurrent
-/// read-only use — Saturate / SaturateExcluding / CheckUniqueFix keep all
-/// mutable state on the stack, the referenced RuleSet / Relation /
-/// MasterIndex are never written, and the one lazily initialized member
-/// (the Dom() cache) is guarded by a mutex. SetDomHint is the exception:
-/// it must not race with readers. BatchRepair relies on this to run many
-/// per-tuple saturations against one shared Saturator.
+/// use — Saturate / SaturateExcluding / CheckUniqueFix keep all mutable
+/// state on the stack, the referenced RuleSet / Relation / MasterIndex
+/// are never written, and the one lazily initialized member (the Dom()
+/// cache) is guarded by a mutex — with ONE storage-layer caveat: applying
+/// a move interns the fixed value into the *input tuple's* ValuePool,
+/// which is not synchronized (value_pool.h). Concurrent saturations are
+/// therefore safe only when each thread's input tuples use a
+/// thread-owned pool — the parallel BatchRepair rebases every shard's
+/// rows into a shard-local pool for exactly this reason. Saturating
+/// tuples of one shared relation from multiple threads without rebasing
+/// is a data race. (Single-threaded callers are unaffected, though note
+/// that saturating rel.at(i) may append fix values to rel's pool — an
+/// append-only, content-invisible mutation.) SetDomHint must not race
+/// with readers.
 class Saturator {
  public:
   Saturator(const RuleSet& rules, const Relation& dm,
@@ -78,7 +86,12 @@ class Saturator {
   /// Exact unique-fix decision (and the fix itself when unique): full
   /// saturation plus one excluded saturation per covered target attribute.
   /// Mirrors the consistency algorithm in the proof of Theorem 4.
-  SaturationResult CheckUniqueFix(const Tuple& t, AttrSet z0) const;
+  /// `bridge`, when given, must translate t's pool into the master pool;
+  /// long-lived callers (BatchRepair shards) pass one bridge across many
+  /// rows so each distinct input value is hashed once per shard, not once
+  /// per row. Null builds a per-call bridge.
+  SaturationResult CheckUniqueFix(const Tuple& t, AttrSet z0,
+                                  PoolBridge* bridge = nullptr) const;
 
   const RuleSet& rules() const { return *rules_; }
   const Relation& master() const { return *dm_; }
@@ -92,9 +105,13 @@ class Saturator {
   void SetDomHint(const std::set<Value>* dom) { dom_hint_ = dom; }
 
  private:
-  // Shared round loop; excluded < 0 disables exclusion.
+  // Shared round loop; excluded < 0 disables exclusion. `bridge` is the
+  // caller-owned id translation from t's pool into the master pool, reused
+  // across the rounds (and, for CheckUniqueFix, across the per-attribute
+  // excluded runs) so each distinct input value is hashed at most once.
   SaturationResult Run(const Tuple& t, AttrSet z0, int excluded,
-                       std::vector<Value>* proposals) const;
+                       std::vector<Value>* proposals,
+                       PoolBridge* bridge) const;
 
   const RuleSet* rules_;
   const Relation* dm_;

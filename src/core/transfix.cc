@@ -10,6 +10,9 @@ TransFixResult TransFix::Run(const Tuple& t, AttrSet z) const {
   result.validated = z;
 
   size_t n = rules_->size();
+  // Memoized id translation for the master probes below (one hash per
+  // distinct input value across all rounds; identity for master tuples).
+  PoolBridge bridge(result.tuple.pool().get(), index_->pool().get());
   // Node states per Fig. 5: unusable (initial), usable (in vset), candidate
   // (in uset), consumed (removed from vset after processing).
   enum class State { kUnusable, kUsable, kCandidate, kConsumed };
@@ -41,13 +44,13 @@ TransFixResult TransFix::Run(const Tuple& t, AttrSet z) const {
     if (!result.validated.Contains(b) &&
         rule.pattern().Matches(result.tuple)) {
       const MasterIndex::RhsSummary& values =
-          index_->RhsValues(v, result.tuple);
+          index_->RhsValues(v, result.tuple, &bridge);
       if (values.size() == 1) {
         // Exactly one distinct master value: safe to apply.
-        const auto& [value, rep] = values.front();
-        result.tuple.Set(b, value);
+        const MasterIndex::RhsValue& rv = values.front();
+        result.tuple.Set(b, rv.value);
         result.validated.Add(b);
-        result.steps.push_back(FixMove{v, rep, b, value});
+        result.steps.push_back(FixMove{v, rv.row, b, rv.value});
         fixed_now = true;
       } else if (values.size() > 1) {
         // Disagreeing master tuples would mean a non-unique fix, which

@@ -23,12 +23,14 @@ std::string MinedDependency::ToString(const SchemaPtr& schema) const {
 bool RuleMiner::HoldsOn(const std::vector<size_t>& rows,
                         const std::vector<AttrId>& x, AttrId b,
                         size_t* support) const {
-  std::unordered_map<std::string, Value> seen;
+  // Keys and the B agreement check are pool ids — one relation, one pool.
+  std::unordered_map<IdKey, ValueId, IdKeyHash> seen;
+  IdKey key(x.size());
   for (size_t row : rows) {
-    const Tuple& t = master_->at(row);
-    std::string key = ProjectKey(t, x);
-    auto [it, inserted] = seen.emplace(key, t.at(b));
-    if (!inserted && it->second != t.at(b)) return false;
+    for (size_t k = 0; k < x.size(); ++k) key[k] = master_->CellId(row, x[k]);
+    ValueId vb = master_->CellId(row, b);
+    auto [it, inserted] = seen.emplace(key, vb);
+    if (!inserted && it->second != vb) return false;
   }
   *support = seen.size();
   return seen.size() >= options_.min_support;
@@ -89,9 +91,13 @@ std::vector<MinedDependency> RuleMiner::MineDependencies() const {
     std::vector<Value> values = master_->DistinctValues(cond);
     if (values.size() > options_.max_condition_values) continue;
     for (const Value& v : values) {
+      // DistinctValues drew v from the pool, so the id probe always hits;
+      // the row scan is a single integer compare per row.
+      ValueId vid = master_->pool()->Find(v);
+      const std::vector<ValueId>& col = master_->Column(cond);
       std::vector<size_t> rows;
       for (size_t i = 0; i < master_->size(); ++i) {
-        if (master_->at(i).at(cond) == v) rows.push_back(i);
+        if (col[i] == vid) rows.push_back(i);
       }
       if (rows.size() < options_.min_condition_rows) continue;
       for (const std::vector<AttrId>& x : candidates) {

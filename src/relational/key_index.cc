@@ -5,21 +5,39 @@ namespace certfix {
 const std::vector<size_t> KeyIndex::kEmpty;
 
 KeyIndex::KeyIndex(const Relation& rel, std::vector<AttrId> attrs)
-    : attrs_(std::move(attrs)) {
+    : attrs_(std::move(attrs)), pool_(rel.pool()) {
+  std::vector<const std::vector<ValueId>*> cols;
+  cols.reserve(attrs_.size());
+  for (AttrId a : attrs_) cols.push_back(&rel.Column(a));
+  IdKey key(attrs_.size());
   for (size_t i = 0; i < rel.size(); ++i) {
-    map_[ProjectKey(rel.at(i), attrs_)].push_back(i);
+    for (size_t k = 0; k < cols.size(); ++k) key[k] = (*cols[k])[i];
+    map_[key].push_back(i);
   }
 }
 
 const std::vector<size_t>& KeyIndex::Lookup(
     const std::vector<Value>& values) const {
-  auto it = map_.find(ValuesKey(values));
+  if (pool_ == nullptr) return kEmpty;  // default-constructed index
+  IdKey key(values.size());
+  for (size_t k = 0; k < values.size(); ++k) {
+    ValueId id = pool_->Find(values[k]);
+    if (id == kInvalidValueId) return kEmpty;
+    key[k] = id;
+  }
+  auto it = map_.find(key);
   return it == map_.end() ? kEmpty : it->second;
 }
 
 const std::vector<size_t>& KeyIndex::LookupTuple(
-    const Tuple& t, const std::vector<AttrId>& probe_attrs) const {
-  auto it = map_.find(ProjectKey(t, probe_attrs));
+    const Tuple& t, const std::vector<AttrId>& probe_attrs,
+    PoolBridge* bridge) const {
+  if (pool_ == nullptr) return kEmpty;  // default-constructed index
+  // Probes run in tight saturation loops; a thread-local scratch key
+  // keeps its capacity across calls so no probe allocates.
+  thread_local IdKey key;
+  if (!ProjectIds(t, probe_attrs, pool_.get(), bridge, &key)) return kEmpty;
+  auto it = map_.find(key);
   return it == map_.end() ? kEmpty : it->second;
 }
 

@@ -1,10 +1,9 @@
 /// \file key_index.h
-/// \brief Hash index on a projection of a relation.
+/// \brief Hash index on a projection of a relation, keyed by interned ids.
 
 #ifndef CERTFIX_RELATIONAL_KEY_INDEX_H_
 #define CERTFIX_RELATIONAL_KEY_INDEX_H_
 
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +16,14 @@ namespace certfix {
 /// TransFix relies on constant-time master lookups ("a hash table that
 /// stores tm[Xm] as a key", Sect. 5.1); one KeyIndex per distinct Xm list
 /// is built by MasterIndex.
+///
+/// Keys are IdKeys in the indexed relation's pool space, so building the
+/// index scans id columns (no string rendering), and probes by tuples
+/// sharing the pool are pure integer hashing. Probes from another pool
+/// translate value-by-value — through a caller-provided PoolBridge when
+/// available (amortizing each distinct value to one hash), else via
+/// ValuePool::Find; a probe value absent from the indexed pool answers
+/// "no rows" without touching the map.
 class KeyIndex {
  public:
   KeyIndex() = default;
@@ -28,15 +35,20 @@ class KeyIndex {
 
   /// Row positions matching the projection of `t` (a tuple over another
   /// schema) on `probe_attrs`; |probe_attrs| must equal the key arity.
-  const std::vector<size_t>& LookupTuple(
-      const Tuple& t, const std::vector<AttrId>& probe_attrs) const;
+  /// `bridge`, when given, must translate t's pool into the indexed pool.
+  const std::vector<size_t>& LookupTuple(const Tuple& t,
+                                         const std::vector<AttrId>& probe_attrs,
+                                         PoolBridge* bridge = nullptr) const;
 
   const std::vector<AttrId>& key_attrs() const { return attrs_; }
   size_t num_keys() const { return map_.size(); }
+  /// The pool the keys are interned in (the indexed relation's pool).
+  const PoolPtr& pool() const { return pool_; }
 
  private:
   std::vector<AttrId> attrs_;
-  std::unordered_map<std::string, std::vector<size_t>> map_;
+  PoolPtr pool_;
+  std::unordered_map<IdKey, std::vector<size_t>, IdKeyHash> map_;
   static const std::vector<size_t> kEmpty;
 };
 

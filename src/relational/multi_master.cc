@@ -37,7 +37,8 @@ Result<MultiMaster> MultiMaster::Combine(
     const Relation& rel = *sources[i].second;
     out.source_names_.push_back(sources[i].first);
     for (const Tuple& src : rel) {
-      Tuple row(out.schema_);
+      // Bound to the combined relation's pool so cells intern once.
+      Tuple row = out.relation_.NewTuple();
       row.Set(0, Value::Int(static_cast<int64_t>(i)));
       for (size_t a = 0; a < src.size(); ++a) {
         row.Set(static_cast<AttrId>(offset + a), src.at(static_cast<AttrId>(a)));

@@ -1,47 +1,116 @@
 #include "relational/relation.h"
 
-#include <set>
+#include <algorithm>
 #include <sstream>
 #include <unordered_set>
 
 namespace certfix {
 
-Status Relation::Append(Tuple t) {
+Tuple Relation::at(size_t i) const {
+  std::vector<ValueId> ids(cols_.size());
+  for (size_t a = 0; a < cols_.size(); ++a) ids[a] = cols_[a][i];
+  return Tuple(schema_, pool_, std::move(ids));
+}
+
+void Relation::SetCell(size_t row, AttrId attr, Value v) {
+  cols_[attr][row] = pool_->Intern(v);
+}
+
+void Relation::SetRow(size_t row, const Tuple& t) {
+  if (t.pool() == pool_) {
+    for (size_t a = 0; a < cols_.size(); ++a) {
+      cols_[a][row] = t.id_at(static_cast<AttrId>(a));
+    }
+    return;
+  }
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    const Value& v = t.at(static_cast<AttrId>(a));
+    if (Cell(row, static_cast<AttrId>(a)) != v) {
+      cols_[a][row] = pool_->Intern(v);
+    }
+  }
+}
+
+Status Relation::Append(const Tuple& t) {
   if (t.schema().get() != schema_.get() && !t.schema()->Equals(*schema_)) {
     return Status::InvalidArgument("tuple schema does not match relation " +
                                    schema_->name());
   }
-  tuples_.push_back(std::move(t));
+  if (t.pool() == pool_) {
+    for (size_t a = 0; a < cols_.size(); ++a) {
+      cols_[a].push_back(t.id_at(static_cast<AttrId>(a)));
+    }
+  } else {
+    for (size_t a = 0; a < cols_.size(); ++a) {
+      cols_[a].push_back(pool_->Intern(t.at(static_cast<AttrId>(a))));
+    }
+  }
+  ++num_rows_;
   return Status::OK();
 }
 
 Status Relation::AppendStrings(const std::vector<std::string>& fields) {
-  CERTFIX_ASSIGN_OR_RETURN(Tuple t, Tuple::FromStrings(schema_, fields));
-  tuples_.push_back(std::move(t));
+  if (fields.size() != schema_->num_attrs()) {
+    return Status::InvalidArgument(
+        "field count " + std::to_string(fields.size()) +
+        " does not match schema arity " +
+        std::to_string(schema_->num_attrs()));
+  }
+  for (size_t a = 0; a < fields.size(); ++a) {
+    AttrId attr = static_cast<AttrId>(a);
+    cols_[a].push_back(
+        pool_->Intern(Value::Parse(fields[a], schema_->attr_type(attr))));
+  }
+  ++num_rows_;
   return Status::OK();
 }
 
 std::vector<Value> Relation::DistinctValues(AttrId attr) const {
-  std::set<Value> seen;
-  for (const Tuple& t : tuples_) seen.insert(t.at(attr));
-  return std::vector<Value>(seen.begin(), seen.end());
+  std::unordered_set<ValueId> seen;
+  std::vector<Value> out;
+  for (ValueId id : cols_[attr]) {
+    if (seen.insert(id).second) out.push_back(pool_->value(id));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<Value> Relation::ActiveDomain() const {
-  std::set<Value> seen;
-  for (const Tuple& t : tuples_) {
-    for (size_t i = 0; i < t.size(); ++i) seen.insert(t.at(static_cast<AttrId>(i)));
+  std::unordered_set<ValueId> seen;
+  std::vector<Value> out;
+  for (const auto& col : cols_) {
+    for (ValueId id : col) {
+      if (seen.insert(id).second) out.push_back(pool_->value(id));
+    }
   }
-  return std::vector<Value>(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Relation::ClearAndReleasePool() {
+  Clear();
+  if (pool_ != nullptr && pool_.use_count() == 1) {
+    pool_ = std::make_shared<ValuePool>();
+  }
+}
+
+std::string ProjectKey(const Relation& rel, size_t row,
+                       const std::vector<AttrId>& attrs) {
+  std::string key;
+  for (AttrId a : attrs) {
+    key += rel.Cell(row, a).ToString();
+    key += kKeyUnitSep;
+  }
+  return key;
 }
 
 std::string Relation::ToString(size_t max_rows) const {
   std::ostringstream os;
-  os << schema_->ToString() << " [" << tuples_.size() << " rows]\n";
-  for (size_t i = 0; i < tuples_.size() && i < max_rows; ++i) {
-    os << "  " << tuples_[i].ToString() << "\n";
+  os << schema_->ToString() << " [" << num_rows_ << " rows]\n";
+  for (size_t i = 0; i < num_rows_ && i < max_rows; ++i) {
+    os << "  " << at(i).ToString() << "\n";
   }
-  if (tuples_.size() > max_rows) os << "  ...\n";
+  if (num_rows_ > max_rows) os << "  ...\n";
   return os.str();
 }
 

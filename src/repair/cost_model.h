@@ -33,7 +33,7 @@ class CostModel {
   /// Cost of changing rel[tuple][attr] to `target`.
   double ChangeCost(const Relation& rel, size_t tuple, AttrId attr,
                     const Value& target) const {
-    return Weight(tuple, attr) * Distance(rel.at(tuple).at(attr), target);
+    return Weight(tuple, attr) * Distance(rel.Cell(tuple, attr), target);
   }
 
  private:

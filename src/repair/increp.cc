@@ -50,7 +50,7 @@ size_t IncRep::Pass(Relation* rel, const CostModel& costs, double* cost_out,
     } else {
       std::map<std::string, std::pair<Value, double>> candidates;
       for (const Cell& c : cls) {
-        const Value& v = rel->at(c.tuple).at(c.attr);
+        const Value& v = rel->Cell(c.tuple, c.attr);
         candidates.emplace(v.ToString(), std::make_pair(v, 0.0));
       }
       for (auto& [key, entry] : candidates) {
@@ -72,10 +72,9 @@ size_t IncRep::Pass(Relation* rel, const CostModel& costs, double* cost_out,
     }
 
     for (const Cell& c : cls) {
-      Value& cell = rel->at(c.tuple).at(c.attr);
-      if (cell != target) {
+      if (rel->Cell(c.tuple, c.attr) != target) {
         *cost_out += costs.ChangeCost(*rel, c.tuple, c.attr, target);
-        cell = target;
+        rel->SetCell(c.tuple, c.attr, target);
         ++changed;
       }
     }

@@ -43,8 +43,8 @@ ConsistencyInstance Reduce3SatToConsistency(const CnfFormula& formula) {
   st = inst.dm.AppendStrings({"0", "1", "1", "1", "0"});  // placeholder
   (void)st;
   // Replace the third row properly: (0,1,1,0,1).
-  inst.dm.at(2).Set(3, V0());
-  inst.dm.at(2).Set(4, V1());
+  inst.dm.SetCell(2, 3, V0());
+  inst.dm.SetCell(2, 4, V1());
 
   auto attr = [&](const std::string& name) {
     Result<AttrId> id = r->IndexOf(name);

@@ -142,13 +142,13 @@ CfdSet DblpWorkload::MakeCfdsFromMaster(const SchemaPtr& schema,
     assert(x.ok() && b.ok());
     std::set<std::string> seen;
     size_t rows = 0;
-    for (const Tuple& tm : master) {
+    for (size_t m = 0; m < master.size(); ++m) {
       if (rows >= max_rows) break;
-      std::string key = ProjectKey(tm, *x);
+      std::string key = ProjectKey(master, m, *x);
       if (!seen.insert(key).second) continue;
       PatternTuple tp(schema);
-      for (AttrId a : *x) tp.SetConst(a, tm.at(a));
-      tp.SetConst(*b, tm.at(*b));
+      for (AttrId a : *x) tp.SetConst(a, master.Cell(m, a));
+      tp.SetConst(*b, master.Cell(m, *b));
       Result<Cfd> cfd = Cfd::Make(
           "dblp_cfd_" + spec.b + "_" + std::to_string(rows), schema, *x, *b,
           std::move(tp));

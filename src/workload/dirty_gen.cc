@@ -49,7 +49,7 @@ DirtyPair DirtyGenerator::Next() {
   pair.from_master = rng_.Bernoulli(options_.duplicate_rate);
   const Relation& pool = pair.from_master ? *master_ : *non_master_;
   pair.clean = pool.at(rng_.Index(pool.size()));
-  pair.dirty = pair.clean;
+  pair.dirty = pair.clean.RebasedTo(scratch_pool_);
   for (AttrId a = 0; a < pair.dirty.size(); ++a) {
     if (options_.protected_attrs.Contains(a)) continue;
     if (!rng_.Bernoulli(options_.noise_rate)) continue;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "relational/relation.h"
+
 namespace certfix {
 namespace {
 
@@ -86,11 +88,11 @@ TEST(ProjectKeyTest, DistinguishesFieldBoundaries) {
   EXPECT_NE(ProjectKey(t1, {0, 1}), ProjectKey(t2, {0, 1}));
 }
 
-TEST(ProjectKeyTest, MatchesValuesKey) {
+TEST(ProjectKeyTest, MatchesRelationRowForm) {
   SchemaPtr s = S();
-  Tuple t = std::move(Tuple::FromStrings(s, {"a", "b", "c"})).ValueOrDie();
-  EXPECT_EQ(ProjectKey(t, {0, 2}),
-            ValuesKey({Value::Str("a"), Value::Str("c")}));
+  Relation rel(s);
+  ASSERT_TRUE(rel.AppendStrings({"a", "b", "c"}).ok());
+  EXPECT_EQ(ProjectKey(rel.at(0), {0, 2}), ProjectKey(rel, 0, {0, 2}));
 }
 
 TEST(ProjectKeyTest, OrderMatters) {
