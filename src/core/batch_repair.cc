@@ -1,5 +1,6 @@
 #include "core/batch_repair.h"
 
+#include "core/repair_tuple.h"
 #include "util/thread_pool.h"
 
 namespace certfix {
@@ -16,22 +17,26 @@ void BatchRepair::RepairRange(const Relation& data, AttrSet trusted,
   for (size_t i = begin; i < end; ++i) {
     Tuple row = local_pool != nullptr ? data.at(i).RebasedTo(local_pool)
                                       : data.at(i);
-    SaturationResult fix = sat_->CheckUniqueFix(row, trusted, &bridge);
-    if (!fix.unique) {
-      ++out->conflicting;
-      out->conflict_rows.push_back(i);
-      continue;
+    TupleRepair r = RepairOneTuple(*sat_, row, trusted, all, &bridge);
+    switch (r.report.kind) {
+      case FixClass::kConflicting:
+        ++out->conflicting;
+        out->conflict_rows.push_back(i);
+        continue;
+      case FixClass::kFullyCovered:
+        ++out->fully_covered;
+        break;
+      case FixClass::kPartial:
+        ++out->partial;
+        break;
+      case FixClass::kUntouched:
+        ++out->untouched;
+        break;
     }
-    size_t diff = row.DiffCount(fix.fixed);
-    out->cells_changed += diff;
-    if (fix.covered == all) {
-      ++out->fully_covered;
-    } else if (fix.covered != trusted) {
-      ++out->partial;
-    } else {
-      ++out->untouched;
+    out->cells_changed += r.report.cells_changed;
+    if (r.report.cells_changed > 0) {
+      out->changed.emplace_back(i, std::move(r.fixed));
     }
-    if (diff > 0) out->changed.emplace_back(i, std::move(fix.fixed));
   }
 }
 

@@ -6,6 +6,8 @@
 /// Given a relation whose tuples all have a trusted attribute set Z
 /// (e.g. verified keys), BatchRepair applies every certain fix the rules
 /// and master data entail, tuple by tuple, without user interaction.
+/// The per-tuple step is RepairOneTuple (core/repair_tuple.h), shared
+/// verbatim with the streaming point-of-entry engine (src/stream/).
 /// Tuples whose (Sigma, Dm) analysis conflicts are left untouched and
 /// reported; tuples not fully covered are partially repaired (every
 /// applied fix is still certain relative to Z).

@@ -1,0 +1,30 @@
+#include "core/repair_tuple.h"
+
+namespace certfix {
+
+TupleRepair RepairOneTuple(const Saturator& sat, const Tuple& row,
+                           AttrSet trusted, AttrSet all,
+                           PoolBridge* bridge) {
+  SaturationResult fix = sat.CheckUniqueFix(row, trusted, bridge);
+  TupleRepair out;
+  if (!fix.unique) {
+    // No copy of the input here: a conflicting tuple is left unchanged,
+    // and every caller still holds `row`.
+    out.report.kind = FixClass::kConflicting;
+    out.report.covered = trusted;
+    return out;
+  }
+  out.report.cells_changed = row.DiffCount(fix.fixed);
+  out.report.covered = fix.covered;
+  if (fix.covered == all) {
+    out.report.kind = FixClass::kFullyCovered;
+  } else if (fix.covered != trusted) {
+    out.report.kind = FixClass::kPartial;
+  } else {
+    out.report.kind = FixClass::kUntouched;
+  }
+  out.fixed = std::move(fix.fixed);
+  return out;
+}
+
+}  // namespace certfix

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "relational/csv_stream.h"
 #include "util/string_util.h"
 
 namespace certfix {
@@ -22,6 +23,8 @@ Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
           in_quotes = false;
         }
       } else {
+        // Delimiters, CR, and LF are all literal inside quotes (callers
+        // passing a full logical record get RFC-4180 semantics).
         cur += c;
       }
     } else if (c == '"') {
@@ -34,7 +37,7 @@ Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
       fields.push_back(std::move(cur));
       cur.clear();
     } else if (c == '\r') {
-      // Tolerate CRLF endings.
+      // Tolerate CRLF endings (and stray bare CR) outside quotes.
     } else {
       cur += c;
     }
@@ -65,35 +68,16 @@ std::string FormatCsvLine(const std::vector<std::string>& fields) {
 }
 
 Result<Relation> ReadCsv(SchemaPtr schema, std::istream& in) {
-  std::string line;
-  if (!std::getline(in, line)) {
-    return Status::ParseError("empty CSV input: missing header");
-  }
-  CERTFIX_ASSIGN_OR_RETURN(std::vector<std::string> header,
-                           ParseCsvLine(line));
-  if (header.size() != schema->num_attrs()) {
-    return Status::ParseError("CSV header arity " +
-                              std::to_string(header.size()) +
-                              " != schema arity " +
-                              std::to_string(schema->num_attrs()));
-  }
-  for (size_t i = 0; i < header.size(); ++i) {
-    if (std::string(Trim(header[i])) != schema->attr_name(static_cast<AttrId>(i))) {
-      return Status::ParseError("CSV header column " + std::to_string(i) +
-                                " is '" + header[i] + "', expected '" +
-                                schema->attr_name(static_cast<AttrId>(i)) + "'");
-    }
-  }
-  Relation rel(schema);
-  size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    CERTFIX_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                             ParseCsvLine(line));
+  CsvTupleSource source(schema, in);
+  Relation rel(std::move(schema));
+  std::vector<std::string> fields;
+  for (;;) {
+    CERTFIX_ASSIGN_OR_RETURN(bool got, source.Next(&fields));
+    if (!got) break;
     Status st = rel.AppendStrings(fields);
     if (!st.ok()) {
-      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+      return Status::ParseError("line " +
+                                std::to_string(source.record_line()) + ": " +
                                 st.message());
     }
   }
@@ -108,12 +92,12 @@ Result<Relation> ReadCsvFile(SchemaPtr schema, const std::string& path) {
 
 Result<Relation> ReadCsvInferSchema(const std::string& name,
                                     std::istream& in) {
-  std::string header;
-  if (!std::getline(in, header)) {
+  CsvRecordReader reader(in);
+  std::vector<std::string> columns;
+  CERTFIX_ASSIGN_OR_RETURN(bool got_header, reader.Next(&columns));
+  if (!got_header) {
     return Status::ParseError("empty CSV input: missing header");
   }
-  CERTFIX_ASSIGN_OR_RETURN(std::vector<std::string> columns,
-                           ParseCsvLine(header));
   std::vector<std::string> trimmed;
   for (const std::string& c : columns) {
     trimmed.emplace_back(Trim(c));
@@ -123,16 +107,14 @@ Result<Relation> ReadCsvInferSchema(const std::string& name,
   }
   SchemaPtr schema = Schema::Make(name, trimmed);
   Relation rel(schema);
-  std::string line;
-  size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    CERTFIX_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                             ParseCsvLine(line));
+  std::vector<std::string> fields;
+  for (;;) {
+    CERTFIX_ASSIGN_OR_RETURN(bool got, reader.Next(&fields));
+    if (!got) break;
     Status st = rel.AppendStrings(fields);
     if (!st.ok()) {
-      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+      return Status::ParseError("line " +
+                                std::to_string(reader.record_line()) + ": " +
                                 st.message());
     }
   }

@@ -1,5 +1,10 @@
 /// \file csv.h
 /// \brief Minimal CSV reader/writer for relations (RFC-4180 quoting).
+///
+/// The batch loaders below are built on the incremental record reader of
+/// csv_stream.h, so quoted fields may contain delimiters and embedded
+/// newlines, and CRLF input is accepted. ParseCsvLine/FormatCsvLine stay
+/// as the single-record string-level primitives.
 
 #ifndef CERTFIX_RELATIONAL_CSV_H_
 #define CERTFIX_RELATIONAL_CSV_H_

@@ -1,0 +1,40 @@
+#include "stream/sink.h"
+
+#include <ostream>
+
+#include "relational/csv.h"
+
+namespace certfix {
+
+CsvStreamSink::CsvStreamSink(SchemaPtr schema, std::ostream& out)
+    : schema_(std::move(schema)), out_(&out) {
+  std::vector<std::string> header;
+  header.reserve(schema_->num_attrs());
+  for (size_t i = 0; i < schema_->num_attrs(); ++i) {
+    header.push_back(schema_->attr_name(static_cast<AttrId>(i)));
+  }
+  *out_ << FormatCsvLine(header) << "\n";
+}
+
+void CsvStreamSink::Emit(const StreamRecord& record) {
+  std::vector<std::string> fields;
+  fields.reserve(record.fixed.size());
+  for (const Value& v : record.fixed) {
+    fields.push_back(v.is_null() ? "" : v.ToString());
+  }
+  *out_ << FormatCsvLine(fields) << "\n";
+}
+
+void CollectingSink::Emit(const StreamRecord& record) {
+  Tuple row = repaired_.NewTuple();
+  for (size_t a = 0; a < record.fixed.size(); ++a) {
+    row.Set(static_cast<AttrId>(a), record.fixed[a]);
+  }
+  repaired_.Append(row);
+  reports_.push_back(record.report);
+  if (record.report.conflicting()) {
+    conflict_rows_.push_back(static_cast<size_t>(record.seq));
+  }
+}
+
+}  // namespace certfix

@@ -1,0 +1,84 @@
+/// \file sink.h
+/// \brief Output stage of the streaming repair engine: ordered records
+/// and the sinks that consume them.
+///
+/// The engine's merge stage calls StreamSink::Emit exactly once per input
+/// tuple, in strictly increasing `seq` order (seq 0 is the first tuple
+/// pushed), serialized under the engine's merge lock — a sink never sees
+/// two concurrent Emit calls and never sees records out of order,
+/// regardless of the shard-worker count. Records carry owned Values (no
+/// pool or relation references), so emitting crosses thread boundaries
+/// without touching any shard-local state.
+
+#ifndef CERTFIX_STREAM_SINK_H_
+#define CERTFIX_STREAM_SINK_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/repair_tuple.h"
+#include "relational/relation.h"
+
+namespace certfix {
+
+/// \brief One repaired tuple leaving the stream engine.
+struct StreamRecord {
+  uint64_t seq = 0;            ///< 0-based position in input order
+  std::vector<Value> fixed;    ///< repaired row (input row on conflict)
+  FixReport report;
+};
+
+/// \brief Consumer of ordered repaired tuples. Emit is called in seq
+/// order, one call at a time; implementations need no locking of their
+/// own but must not call back into the engine.
+class StreamSink {
+ public:
+  virtual ~StreamSink() = default;
+  virtual void Emit(const StreamRecord& record) = 0;
+};
+
+/// \brief Discards records (repair-for-the-counters mode).
+class NullSink : public StreamSink {
+ public:
+  void Emit(const StreamRecord&) override {}
+};
+
+/// \brief Writes records as CSV rows, byte-identical to WriteCsv over the
+/// batch-repaired relation: same header line, same RFC-4180 quoting, "\n"
+/// line endings. The header is written on construction so that an empty
+/// stream still produces a valid CSV file.
+class CsvStreamSink : public StreamSink {
+ public:
+  /// `out` must outlive the sink.
+  CsvStreamSink(SchemaPtr schema, std::ostream& out);
+  void Emit(const StreamRecord& record) override;
+
+ private:
+  SchemaPtr schema_;
+  std::ostream* out_;
+};
+
+/// \brief Collects records into a Relation plus per-tuple reports —
+/// mirrors BatchRepairResult for differential testing and programmatic
+/// consumers.
+class CollectingSink : public StreamSink {
+ public:
+  explicit CollectingSink(SchemaPtr schema) : repaired_(std::move(schema)) {}
+
+  void Emit(const StreamRecord& record) override;
+
+  const Relation& repaired() const { return repaired_; }
+  const std::vector<FixReport>& reports() const { return reports_; }
+  /// Seqs (== row positions) of conflicting tuples, ascending.
+  const std::vector<size_t>& conflict_rows() const { return conflict_rows_; }
+
+ private:
+  Relation repaired_;
+  std::vector<FixReport> reports_;
+  std::vector<size_t> conflict_rows_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_STREAM_SINK_H_

@@ -1,0 +1,99 @@
+/// \file stream_metrics.h
+/// \brief Monitoring counters of the streaming repair engine.
+///
+/// All counters are relaxed atomics: they are written from producer,
+/// shard-worker, and merge contexts and read by monitoring code at any
+/// time, but never participate in synchronization — ordering between
+/// counters is not guaranteed mid-stream. Snapshot() taken after
+/// StreamRepairEngine::Finish() is exact (Finish joins every worker).
+
+#ifndef CERTFIX_STREAM_STREAM_METRICS_H_
+#define CERTFIX_STREAM_STREAM_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace certfix {
+
+/// \brief Point-in-time copy of the stream counters (plain integers).
+struct StreamSnapshot {
+  uint64_t tuples_in = 0;       ///< tuples accepted by Push
+  uint64_t tuples_out = 0;      ///< tuples emitted to the sink
+  uint64_t fully_covered = 0;   ///< certain fix reached (covered = R)
+  uint64_t partial = 0;         ///< some but not all attrs covered
+  uint64_t untouched = 0;       ///< nothing beyond Z derivable
+  uint64_t conflicting = 0;     ///< unique-fix check failed
+  uint64_t cells_changed = 0;   ///< total attributes rewritten
+  uint64_t backpressure_waits = 0;  ///< Push calls that blocked on a
+                                    ///< full ring or in-flight window
+  uint64_t pool_recycles = 0;   ///< shard pools reset (bounded memory)
+  uint64_t max_reorder = 0;     ///< high-water mark of the merge buffer
+};
+
+/// \brief Live atomic counters; copyable only via Snapshot().
+class StreamMetrics {
+ public:
+  void CountIn() { tuples_in_.fetch_add(1, std::memory_order_relaxed); }
+  void CountOut() { tuples_out_.fetch_add(1, std::memory_order_relaxed); }
+  void CountFullyCovered() {
+    fully_covered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountPartial() { partial_.fetch_add(1, std::memory_order_relaxed); }
+  void CountUntouched() { untouched_.fetch_add(1, std::memory_order_relaxed); }
+  void CountConflicting() {
+    conflicting_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountCellsChanged(uint64_t n) {
+    cells_changed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountBackpressureWait() {
+    backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Folds in waits counted elsewhere (the per-ring blocked-push tallies
+  /// are merged here once the stream finishes).
+  void AddBackpressureWaits(uint64_t n) {
+    backpressure_waits_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountPoolRecycle() {
+    pool_recycles_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteReorderDepth(uint64_t depth) {
+    uint64_t seen = max_reorder_.load(std::memory_order_relaxed);
+    while (depth > seen && !max_reorder_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  StreamSnapshot Snapshot() const {
+    StreamSnapshot s;
+    s.tuples_in = tuples_in_.load(std::memory_order_relaxed);
+    s.tuples_out = tuples_out_.load(std::memory_order_relaxed);
+    s.fully_covered = fully_covered_.load(std::memory_order_relaxed);
+    s.partial = partial_.load(std::memory_order_relaxed);
+    s.untouched = untouched_.load(std::memory_order_relaxed);
+    s.conflicting = conflicting_.load(std::memory_order_relaxed);
+    s.cells_changed = cells_changed_.load(std::memory_order_relaxed);
+    s.backpressure_waits =
+        backpressure_waits_.load(std::memory_order_relaxed);
+    s.pool_recycles = pool_recycles_.load(std::memory_order_relaxed);
+    s.max_reorder = max_reorder_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> tuples_in_{0};
+  std::atomic<uint64_t> tuples_out_{0};
+  std::atomic<uint64_t> fully_covered_{0};
+  std::atomic<uint64_t> partial_{0};
+  std::atomic<uint64_t> untouched_{0};
+  std::atomic<uint64_t> conflicting_{0};
+  std::atomic<uint64_t> cells_changed_{0};
+  std::atomic<uint64_t> backpressure_waits_{0};
+  std::atomic<uint64_t> pool_recycles_{0};
+  std::atomic<uint64_t> max_reorder_{0};
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_STREAM_STREAM_METRICS_H_

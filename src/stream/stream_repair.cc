@@ -1,0 +1,240 @@
+#include "stream/stream_repair.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace certfix {
+
+StreamRepairEngine::StreamRepairEngine(const Saturator& sat, AttrSet trusted,
+                                       StreamSink* sink,
+                                       StreamOptions options)
+    : sat_(&sat),
+      schema_(sat.rules().r_schema()),
+      trusted_(trusted),
+      trusted_attrs_(trusted.ToVector()),
+      all_(sat.rules().r_schema()->AllAttrs()),
+      sink_(sink),
+      options_(options) {
+  size_t shards = options_.num_shards == 0 ? DefaultParallelism()
+                                           : options_.num_shards;
+  shards = std::min(shards, std::max<size_t>(16, 2 * DefaultParallelism()));
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  window_ = static_cast<uint64_t>(shards) * options_.queue_capacity;
+  queues_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    queues_.push_back(
+        std::make_unique<BoundedQueue<Item>>(options_.queue_capacity));
+  }
+  workers_.reserve(shards);
+  try {
+    for (size_t s = 0; s < shards; ++s) {
+      workers_.emplace_back([this, s] { ShardLoop(s); });
+    }
+  } catch (const std::system_error&) {
+    // Thread-resource exhaustion mid-spawn (same stance as ThreadPool):
+    // with at least one worker every ring still drains — workers serve
+    // only their own ring, so drop the unserved rings (and shrink the
+    // admission window to match the rings that remain).
+    if (workers_.empty()) throw;
+    queues_.resize(workers_.size());
+    window_ = static_cast<uint64_t>(queues_.size()) * options_.queue_capacity;
+  }
+}
+
+StreamRepairEngine::~StreamRepairEngine() {
+  try {
+    Finish();
+  } catch (...) {
+    // Worker errors surface from an explicit Finish(); a destructor has
+    // nowhere to report them.
+  }
+}
+
+size_t StreamRepairEngine::RouteShard(const std::vector<Value>& values,
+                                      uint64_t seq) const {
+  if (queues_.size() == 1) return 0;
+  // FNV-1a over the master-key (trusted) cell hashes: tuples of one
+  // entity land on one shard, keeping any future per-entity shard state
+  // coherent. Routing never affects output — the merge stage orders by
+  // seq — so any hash is semantically safe here. An empty trusted set
+  // degenerates to round-robin.
+  if (trusted_attrs_.empty()) return seq % queues_.size();
+  size_t h = 1469598103934665603ULL;
+  for (AttrId a : trusted_attrs_) {
+    h ^= values[a].Hash();
+    h *= 1099511628211ULL;
+  }
+  return h % queues_.size();
+}
+
+bool StreamRepairEngine::Admit(uint64_t* seq) {
+  std::unique_lock<std::mutex> lock(merge_mutex_);
+  if (finished_ || failed_) return false;
+  if (in_flight_ >= window_) {
+    metrics_.CountBackpressureWait();
+    window_open_.wait(lock,
+                      [this] { return in_flight_ < window_ || failed_; });
+  }
+  if (failed_) return false;
+  // Seq is assigned after the window wait, never before: the window
+  // frees only when smaller seqs emit, so a producer parked here while
+  // holding a seq could starve the merge stage forever. (Blocking on a
+  // full *ring* after assignment is different and safe: rings drain via
+  // their workers regardless of merge order, so the held seq always
+  // reaches the pipeline.)
+  *seq = next_seq_++;
+  ++in_flight_;
+  return true;
+}
+
+bool StreamRepairEngine::PushItem(Item item) {
+  if (!Admit(&item.seq)) return false;
+  size_t shard = RouteShard(item.values, item.seq);
+  if (!queues_[shard]->Push(std::move(item))) {
+    // Ring closed mid-push: a worker failed. The admitted seq will never
+    // emit; failed_ is (being) set, so everything unwinds via Finish.
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    --in_flight_;
+    return false;
+  }
+  metrics_.CountIn();
+  return true;
+}
+
+bool StreamRepairEngine::Push(const Tuple& t) {
+  Item item;
+  item.values.reserve(schema_->num_attrs());
+  for (size_t a = 0; a < schema_->num_attrs(); ++a) {
+    item.values.push_back(t.at(static_cast<AttrId>(a)));
+  }
+  return PushItem(std::move(item));
+}
+
+Status StreamRepairEngine::PushStrings(
+    const std::vector<std::string>& fields) {
+  if (fields.size() != schema_->num_attrs()) {
+    return Status::InvalidArgument(
+        "field count " + std::to_string(fields.size()) +
+        " does not match schema arity " +
+        std::to_string(schema_->num_attrs()));
+  }
+  Item item;
+  item.values.reserve(fields.size());
+  for (size_t a = 0; a < fields.size(); ++a) {
+    item.values.push_back(
+        Value::Parse(fields[a], schema_->attr_type(static_cast<AttrId>(a))));
+  }
+  if (!PushItem(std::move(item))) {
+    return Status::Internal("stream engine is finished or failed");
+  }
+  return Status::OK();
+}
+
+void StreamRepairEngine::ShardLoop(size_t shard) {
+  try {
+    PoolPtr pool = std::make_shared<ValuePool>();
+    const ValuePool* master_pool = sat_->index().pool().get();
+    PoolBridge bridge(pool.get(), master_pool);
+    Item item;
+    while (queues_[shard]->Pop(&item)) {
+      if (pool->size() > options_.pool_recycle_values) {
+        // Bounded memory on unbounded streams: drop the shard dictionary
+        // (and the bridge cache indexed by it) once it outgrows the
+        // budget. Safe between tuples — nothing outside this loop holds
+        // ids of the old pool.
+        pool = std::make_shared<ValuePool>();
+        bridge = PoolBridge(pool.get(), master_pool);
+        metrics_.CountPoolRecycle();
+      }
+      Tuple row(schema_, pool);
+      for (size_t a = 0; a < item.values.size(); ++a) {
+        row.Set(static_cast<AttrId>(a), std::move(item.values[a]));
+      }
+      TupleRepair r = RepairOneTuple(*sat_, row, trusted_, all_, &bridge);
+      StreamRecord record;
+      record.seq = item.seq;
+      record.report = r.report;
+      record.fixed.reserve(schema_->num_attrs());
+      // Copy the repaired cells out of the shard pool: records own their
+      // values, so the merge stage and sink never touch this pool. On
+      // conflict the input row is emitted unchanged (r.fixed is empty).
+      const Tuple& emit = r.report.conflicting() ? row : r.fixed;
+      for (size_t a = 0; a < schema_->num_attrs(); ++a) {
+        record.fixed.push_back(emit.at(static_cast<AttrId>(a)));
+      }
+      EmitOrdered(std::move(record));
+    }
+  } catch (...) {
+    Fail(std::current_exception());
+  }
+}
+
+void StreamRepairEngine::EmitOrdered(StreamRecord record) {
+  std::unique_lock<std::mutex> lock(merge_mutex_);
+  uint64_t seq = record.seq;
+  pending_.emplace(seq, std::move(record));
+  metrics_.NoteReorderDepth(pending_.size());
+  uint64_t emitted = 0;
+  while (!pending_.empty() && pending_.begin()->first == next_emit_) {
+    StreamRecord r = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    sink_->Emit(r);
+    metrics_.CountOut();
+    metrics_.CountCellsChanged(r.report.cells_changed);
+    switch (r.report.kind) {
+      case FixClass::kFullyCovered:
+        metrics_.CountFullyCovered();
+        break;
+      case FixClass::kPartial:
+        metrics_.CountPartial();
+        break;
+      case FixClass::kUntouched:
+        metrics_.CountUntouched();
+        break;
+      case FixClass::kConflicting:
+        metrics_.CountConflicting();
+        break;
+    }
+    ++next_emit_;
+    ++emitted;
+  }
+  if (emitted > 0) {
+    in_flight_ -= emitted;
+    window_open_.notify_all();
+  }
+}
+
+void StreamRepairEngine::Fail(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    if (!first_error_) first_error_ = error;
+    failed_ = true;
+  }
+  window_open_.notify_all();
+  for (auto& q : queues_) q->Close();
+}
+
+StreamSnapshot StreamRepairEngine::Finish() {
+  if (!finished_) {
+    for (auto& q : queues_) q->Close();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    uint64_t ring_waits = 0;
+    for (auto& q : queues_) ring_waits += q->blocked_pushes();
+    metrics_.AddBackpressureWaits(ring_waits);
+    {
+      std::lock_guard<std::mutex> lock(merge_mutex_);
+      finished_ = true;
+    }
+  }
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  return metrics_.Snapshot();
+}
+
+}  // namespace certfix

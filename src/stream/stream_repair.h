@@ -1,0 +1,166 @@
+/// \file stream_repair.h
+/// \brief Streaming point-of-entry repair engine: the paper's
+/// data-monitoring reading of certain fixes (Sect. 1: correct tuples "at
+/// the point of data entry", before errors propagate), as an online
+/// subsystem over the batch machinery.
+///
+/// Pipeline:
+///
+/// ```
+///           Push / PushStrings          (producer thread(s))
+///                  |
+///        route by master-key hash       (hash of the trusted cells t[Z])
+///                  v
+///   ring 0      ring 1     ...  ring N-1    (BoundedQueue, backpressure)
+///     |            |               |
+///  shard 0      shard 1    ...  shard N-1   (workers; shard-local pool +
+///     |            |               |         PoolBridge; RepairOneTuple)
+///     +------------+---------------+
+///                  v
+///           ordered merge           (reorder buffer keyed by seq;
+///                  |                 emits strictly in input order)
+///                  v
+///              StreamSink
+/// ```
+///
+/// Determinism: every tuple is stamped with a sequence number at
+/// admission and the merge stage releases records to the sink in exactly
+/// that order, so the output is byte-identical regardless of the shard
+/// count — and identical to BatchRepair over the same rows, because both
+/// engines run the same RepairOneTuple (core/repair_tuple.h).
+///
+/// Bounded memory: the per-shard rings are fixed-capacity, admission is
+/// gated by an in-flight window of `num_shards * queue_capacity` tuples
+/// (Push blocks — backpressure — until the merge stage catches up), so
+/// the reorder buffer can never exceed the window; and each shard's
+/// ValuePool is recycled once it outgrows `pool_recycle_values`, so an
+/// unbounded stream of distinct values cannot grow a dictionary forever.
+///
+/// Single-writer pool contract (value_pool.h): the master pool is shared
+/// read-only; each shard worker interns into its own pool, probing the
+/// master through its own memoized PoolBridge; records cross the merge
+/// boundary as owned Values, never as pool-backed tuples. No pool is
+/// written concurrently, and no pool is read while another thread writes
+/// it.
+///
+/// Threading contract for callers: Push/PushStrings may be called from
+/// multiple producer threads, but Finish must not run concurrently with
+/// any Push. Sinks are called serialized, in order (sink.h).
+
+#ifndef CERTFIX_STREAM_STREAM_REPAIR_H_
+#define CERTFIX_STREAM_STREAM_REPAIR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/repair_tuple.h"
+#include "stream/bounded_queue.h"
+#include "stream/sink.h"
+#include "stream/stream_metrics.h"
+
+namespace certfix {
+
+/// \brief Execution knobs for the streaming engine.
+struct StreamOptions {
+  /// Shard-worker count. 0 = one per hardware thread. Capped like
+  /// ParallelFor at max(16, 2x hardware) — the cap never changes output,
+  /// only routing.
+  size_t num_shards = 1;
+  /// Slots per shard ring; also sizes the in-flight window
+  /// (num_shards * queue_capacity). At least 1.
+  size_t queue_capacity = 256;
+  /// Recycle a shard's ValuePool once it holds more than this many
+  /// interned values. 0 recycles after every tuple (pathological but
+  /// legal); the default keeps a shard's dictionary around a few MB on
+  /// string-heavy streams.
+  size_t pool_recycle_values = 1u << 16;
+};
+
+/// \brief Long-lived online repair engine.
+///
+/// Construction spawns the shard workers; tuples flow as soon as they are
+/// pushed; Finish() drains the pipeline and returns the final counters.
+class StreamRepairEngine {
+ public:
+  /// `sat` and `sink` must outlive the engine. Every streamed tuple
+  /// trusts its cells on `trusted` (the master-key attributes, e.g.
+  /// verified ids — also the routing key).
+  StreamRepairEngine(const Saturator& sat, AttrSet trusted,
+                     StreamSink* sink, StreamOptions options = {});
+  /// Finishes the stream if the caller did not (worker errors are
+  /// swallowed here; call Finish() to observe them).
+  ~StreamRepairEngine();
+
+  StreamRepairEngine(const StreamRepairEngine&) = delete;
+  StreamRepairEngine& operator=(const StreamRepairEngine&) = delete;
+
+  /// Enqueues one tuple (cells copied out; `t`'s pool is not retained).
+  /// Blocks while the engine is at capacity. Returns false — tuple not
+  /// accepted — after Finish() or after a worker failed.
+  bool Push(const Tuple& t);
+
+  /// Parses `fields` against the schema (same typing as CSV loading) and
+  /// pushes the resulting tuple. InvalidArgument on arity mismatch;
+  /// Internal when the engine no longer accepts tuples.
+  Status PushStrings(const std::vector<std::string>& fields);
+
+  /// Closes ingress, drains every ring, joins the workers, and returns
+  /// the final counters. Rethrows the first worker exception, if any.
+  /// Idempotent; must not race with Push.
+  StreamSnapshot Finish();
+
+  /// Live counters (exact only after Finish; see stream_metrics.h).
+  const StreamMetrics& metrics() const { return metrics_; }
+
+  size_t num_shards() const { return queues_.size(); }
+  const SchemaPtr& schema() const { return schema_; }
+
+ private:
+  /// One queued unit of work: the admission seq plus owned cell values.
+  struct Item {
+    uint64_t seq = 0;
+    std::vector<Value> values;
+  };
+
+  size_t RouteShard(const std::vector<Value>& values, uint64_t seq) const;
+  bool Admit(uint64_t* seq);            ///< window wait + seq assignment
+  bool PushItem(Item item);             ///< admit + route + enqueue
+  void ShardLoop(size_t shard);
+  void EmitOrdered(StreamRecord record);
+  void Fail(std::exception_ptr error);
+
+  const Saturator* sat_;
+  SchemaPtr schema_;
+  AttrSet trusted_;
+  std::vector<AttrId> trusted_attrs_;   ///< routing key, ascending
+  AttrSet all_;
+  StreamSink* sink_;
+  StreamOptions options_;
+  StreamMetrics metrics_;
+
+  std::vector<std::unique_ptr<BoundedQueue<Item>>> queues_;
+  std::vector<std::thread> workers_;
+
+  /// Merge state: reorder buffer + admission window, one lock. Sink
+  /// emission happens under this lock (records are ready-made values;
+  /// the per-record work is trivial next to a tuple's saturation).
+  std::mutex merge_mutex_;
+  std::condition_variable window_open_;
+  std::map<uint64_t, StreamRecord> pending_;
+  uint64_t next_seq_ = 0;               ///< next seq to admit
+  uint64_t next_emit_ = 0;              ///< next seq the sink expects
+  uint64_t in_flight_ = 0;              ///< admitted, not yet emitted
+  uint64_t window_ = 0;                 ///< max in_flight_
+  bool failed_ = false;
+  bool finished_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_STREAM_STREAM_REPAIR_H_

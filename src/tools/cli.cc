@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -13,7 +14,9 @@
 #include "core/cregion.h"
 #include "mining/rule_miner.h"
 #include "relational/csv.h"
+#include "relational/csv_stream.h"
 #include "rules/rule_parser.h"
+#include "stream/stream_repair.h"
 #include "util/string_util.h"
 
 namespace certfix {
@@ -54,13 +57,17 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
 }
 
 void Usage(std::ostream& err) {
-  err << "usage: certfix <mine|analyze|check|repair> [flags]\n"
+  err << "usage: certfix <mine|analyze|check|repair|repair-stream> [flags]\n"
       << "  mine    --master M.csv [--max-lhs N] [--no-conditional]\n"
       << "  analyze --master M.csv --rules R.rules\n"
       << "  check   --master M.csv --rules R.rules --region a,b,c\n"
       << "  repair  --master M.csv --rules R.rules --input D.csv\n"
       << "          --trusted a,b [--output OUT.csv] [--threads N]\n"
-      << "          [--chunk-size N]\n";
+      << "          [--chunk-size N]\n"
+      << "  repair-stream\n"
+      << "          --master M.csv --rules R.rules --input D.csv\n"
+      << "          --trusted a,b [--output OUT.csv] [--threads N]\n"
+      << "          [--queue-capacity N]\n";
 }
 
 /// Renders a rule in the DSL accepted by rule_parser.h.
@@ -230,8 +237,41 @@ int CmdCheck(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int CmdRepair(const ParsedArgs& args, std::ostream& out,
-              std::ostream& err) {
+/// Parses an optional non-negative integer flag. 0 is a meaningful value
+/// for every size knob (all hardware threads / even split), so a typo
+/// must not silently parse to it.
+bool ParseSizeFlag(const ParsedArgs& args, const char* flag, size_t* out,
+                   std::ostream& err) {
+  auto it = args.flags.find(flag);
+  if (it == args.flags.end()) return true;
+  const std::string& s = it->second;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
+      s.find('-') != std::string::npos) {
+    err << "--" << flag << " needs a non-negative integer, got '" << s
+        << "'\n";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Setup both repair commands share: master data, rules, the input
+/// path, and the resolved trusted attribute set.
+struct RepairSetup {
+  Relation master;
+  RuleSet rules;
+  std::string input_path;
+  AttrSet trusted;
+};
+
+/// Loads the common repair inputs (--master, --rules, --input,
+/// --trusted). Returns 0 on success, else the command's exit code
+/// (after printing to `err`).
+int LoadRepairSetup(const ParsedArgs& args, std::ostream& err,
+                    RepairSetup* setup) {
   Result<Relation> master = LoadMaster(args);
   if (!master.ok()) {
     err << master.status() << "\n";
@@ -248,46 +288,40 @@ int CmdRepair(const ParsedArgs& args, std::ostream& out,
     err << "--input and --trusted are required\n";
     return 1;
   }
-  Result<Relation> input =
-      ReadCsvFile(master->schema(), input_it->second);
-  if (!input.ok()) {
-    err << input.status() << "\n";
-    return 2;
-  }
   Result<std::vector<AttrId>> trusted =
       ResolveList(master->schema(), trusted_it->second);
   if (!trusted.ok()) {
     err << trusted.status() << "\n";
     return 2;
   }
-  // 0 is a meaningful value for both knobs (all hardware threads / even
-  // split), so a typo must not silently parse to it.
-  auto parse_size = [&](const char* flag, size_t* out) {
-    auto it = args.flags.find(flag);
-    if (it == args.flags.end()) return true;
-    const std::string& s = it->second;
-    char* end = nullptr;
-    errno = 0;
-    unsigned long v = std::strtoul(s.c_str(), &end, 10);
-    if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
-        s.find('-') != std::string::npos) {
-      err << "--" << flag << " needs a non-negative integer, got '" << s
-          << "'\n";
-      return false;
-    }
-    *out = v;
-    return true;
-  };
+  setup->master = std::move(master).ValueOrDie();
+  setup->rules = std::move(rules).ValueOrDie();
+  setup->input_path = input_it->second;
+  setup->trusted = AttrSet::FromVector(*trusted);
+  return 0;
+}
+
+int CmdRepair(const ParsedArgs& args, std::ostream& out,
+              std::ostream& err) {
+  RepairSetup setup;
+  if (int code = LoadRepairSetup(args, err, &setup); code != 0) {
+    return code;
+  }
+  Result<Relation> input =
+      ReadCsvFile(setup.master.schema(), setup.input_path);
+  if (!input.ok()) {
+    err << input.status() << "\n";
+    return 2;
+  }
   RepairOptions options;
-  if (!parse_size("threads", &options.num_threads) ||
-      !parse_size("chunk-size", &options.chunk_size)) {
+  if (!ParseSizeFlag(args, "threads", &options.num_threads, err) ||
+      !ParseSizeFlag(args, "chunk-size", &options.chunk_size, err)) {
     return 1;
   }
-  MasterIndex index(*rules, *master);
-  Saturator sat(*rules, *master, index);
+  MasterIndex index(setup.rules, setup.master);
+  Saturator sat(setup.rules, setup.master, index);
   BatchRepair repair(sat, options);
-  BatchRepairResult result =
-      repair.Repair(*input, AttrSet::FromVector(*trusted));
+  BatchRepairResult result = repair.Repair(*input, setup.trusted);
   out << "rows: " << input->size()
       << "  fully covered: " << result.tuples_fully_covered
       << "  partial: " << result.tuples_partial
@@ -306,6 +340,88 @@ int CmdRepair(const ParsedArgs& args, std::ostream& out,
   return result.tuples_conflicting == 0 ? 0 : 2;
 }
 
+int CmdRepairStream(const ParsedArgs& args, std::ostream& out,
+                    std::ostream& err) {
+  RepairSetup setup;
+  if (int code = LoadRepairSetup(args, err, &setup); code != 0) {
+    return code;
+  }
+  StreamOptions options;
+  if (!ParseSizeFlag(args, "threads", &options.num_shards, err) ||
+      !ParseSizeFlag(args, "queue-capacity", &options.queue_capacity, err)) {
+    return 1;
+  }
+  std::ifstream in(setup.input_path);
+  if (!in) {
+    err << Status::NotFound("cannot open file: " + setup.input_path) << "\n";
+    return 2;
+  }
+
+  MasterIndex index(setup.rules, setup.master);
+  Saturator sat(setup.rules, setup.master, index);
+  CsvTupleSource source(setup.master.schema(), in);
+
+  std::ofstream file_out;
+  std::unique_ptr<StreamSink> sink;
+  auto output_it = args.flags.find("output");
+  if (output_it != args.flags.end()) {
+    file_out.open(output_it->second);
+    if (!file_out) {
+      err << Status::InvalidArgument("cannot open for write: " +
+                                     output_it->second)
+          << "\n";
+      return 2;
+    }
+    sink = std::make_unique<CsvStreamSink>(setup.master.schema(), file_out);
+  } else {
+    sink = std::make_unique<NullSink>();
+  }
+
+  StreamRepairEngine engine(sat, setup.trusted, sink.get(), options);
+  std::vector<std::string> fields;
+  for (;;) {
+    Result<bool> got = source.Next(&fields);
+    if (!got.ok()) {
+      err << got.status() << "\n";
+      return 2;
+    }
+    if (!*got) break;
+    Status st = engine.PushStrings(fields);
+    if (!st.ok()) {
+      err << st << "\n";
+      // A refused push usually means a shard worker died; Finish()
+      // rethrows its exception — surface the root cause, not just the
+      // generic push error.
+      try {
+        engine.Finish();
+      } catch (const std::exception& e) {
+        err << "stream worker failed: " << e.what() << "\n";
+      }
+      return 2;
+    }
+  }
+  StreamSnapshot s;
+  try {
+    s = engine.Finish();
+  } catch (const std::exception& e) {
+    err << "stream worker failed: " << e.what() << "\n";
+    return 2;
+  }
+  out << "rows: " << s.tuples_out
+      << "  fully covered: " << s.fully_covered
+      << "  partial: " << s.partial
+      << "  untouched: " << s.untouched
+      << "  conflicts: " << s.conflicting
+      << "  cells changed: " << s.cells_changed << "\n";
+  out << "shards: " << engine.num_shards()
+      << "  backpressure waits: " << s.backpressure_waits
+      << "  pool recycles: " << s.pool_recycles << "\n";
+  if (output_it != args.flags.end()) {
+    out << "repaired relation written to " << output_it->second << "\n";
+  }
+  return s.conflicting == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -320,6 +436,9 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (parsed.command == "analyze") return CmdAnalyze(parsed, out, err);
   if (parsed.command == "check") return CmdCheck(parsed, out, err);
   if (parsed.command == "repair") return CmdRepair(parsed, out, err);
+  if (parsed.command == "repair-stream") {
+    return CmdRepairStream(parsed, out, err);
+  }
   err << "unknown subcommand: " << parsed.command << "\n";
   Usage(err);
   return 1;

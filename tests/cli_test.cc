@@ -150,6 +150,44 @@ TEST_F(CliTest, RepairThreadsFlagMatchesSequentialOutput) {
   }
 }
 
+TEST_F(CliTest, RepairStreamMatchesBatchRepairByteForByte) {
+  ASSERT_EQ(Run({"repair", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--trusted",
+                 "zip,name", "--output", output_path_}),
+            0)
+      << err_.str();
+  std::ifstream batch_file(output_path_);
+  std::stringstream batch_bytes;
+  batch_bytes << batch_file.rdbuf();
+
+  for (const char* threads : {"1", "4"}) {
+    std::string stream_path = dir_ + "/out_stream_" + threads + ".csv";
+    ASSERT_EQ(Run({"repair-stream", "--master", master_path_, "--rules",
+                   rules_path_, "--input", input_path_, "--trusted",
+                   "zip,name", "--output", stream_path, "--threads",
+                   threads, "--queue-capacity", "2"}),
+              0)
+        << err_.str();
+    EXPECT_NE(out_.str().find("cells changed: 2"), std::string::npos);
+    EXPECT_NE(out_.str().find("shards:"), std::string::npos);
+    std::ifstream stream_file(stream_path);
+    std::stringstream stream_bytes;
+    stream_bytes << stream_file.rdbuf();
+    EXPECT_EQ(stream_bytes.str(), batch_bytes.str())
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(CliTest, RepairStreamMissingFlagsFail) {
+  EXPECT_EQ(Run({"repair-stream", "--master", master_path_, "--rules",
+                 rules_path_}),
+            1);
+  EXPECT_EQ(Run({"repair-stream", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--trusted",
+                 "zip,name", "--threads", "nope"}),
+            1);
+}
+
 TEST_F(CliTest, RepairMissingFlagsFail) {
   EXPECT_EQ(Run({"repair", "--master", master_path_, "--rules",
                  rules_path_}),

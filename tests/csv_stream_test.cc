@@ -1,0 +1,195 @@
+#include "relational/csv_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "relational/csv.h"
+
+namespace certfix {
+namespace {
+
+using Fields = std::vector<std::string>;
+
+Fields ReadOne(CsvRecordReader* reader) {
+  Fields fields;
+  Result<bool> got = reader->Next(&fields);
+  EXPECT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(got.ok() && *got);
+  return fields;
+}
+
+TEST(CsvRecordReaderTest, PlainRecords) {
+  std::istringstream in("a,b,c\n1,2,3\n");
+  CsvRecordReader reader(in);
+  EXPECT_EQ(ReadOne(&reader), (Fields{"a", "b", "c"}));
+  EXPECT_EQ(reader.record_line(), 1u);
+  EXPECT_EQ(ReadOne(&reader), (Fields{"1", "2", "3"}));
+  EXPECT_EQ(reader.record_line(), 2u);
+  Fields fields;
+  Result<bool> end = reader.Next(&fields);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(*end);
+}
+
+TEST(CsvRecordReaderTest, MissingTrailingNewline) {
+  std::istringstream in("a,b\n1,2");
+  CsvRecordReader reader(in);
+  EXPECT_EQ(ReadOne(&reader), (Fields{"a", "b"}));
+  EXPECT_EQ(ReadOne(&reader), (Fields{"1", "2"}));
+}
+
+TEST(CsvRecordReaderTest, CrlfLineEndings) {
+  std::istringstream in("a,b\r\n1,2\r\n");
+  CsvRecordReader reader(in);
+  EXPECT_EQ(ReadOne(&reader), (Fields{"a", "b"}));
+  EXPECT_EQ(ReadOne(&reader), (Fields{"1", "2"}));
+  Fields fields;
+  Result<bool> end = reader.Next(&fields);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(*end);
+}
+
+TEST(CsvRecordReaderTest, QuotedDelimiterAndQuote) {
+  std::istringstream in("\"a,b\",\"he said \"\"hi\"\"\",c\n");
+  CsvRecordReader reader(in);
+  EXPECT_EQ(ReadOne(&reader), (Fields{"a,b", "he said \"hi\"", "c"}));
+}
+
+TEST(CsvRecordReaderTest, QuotedFieldSpansLines) {
+  std::istringstream in("\"line one\nline two\",x\nnext,y\n");
+  CsvRecordReader reader(in);
+  EXPECT_EQ(ReadOne(&reader), (Fields{"line one\nline two", "x"}));
+  EXPECT_EQ(reader.record_line(), 1u);
+  // The follow-up record starts after BOTH physical lines of record 1.
+  EXPECT_EQ(ReadOne(&reader), (Fields{"next", "y"}));
+  EXPECT_EQ(reader.record_line(), 3u);
+}
+
+TEST(CsvRecordReaderTest, CrPreservedInsideQuotes) {
+  std::istringstream in("\"a\rb\",\"c\r\nd\"\n");
+  CsvRecordReader reader(in);
+  EXPECT_EQ(ReadOne(&reader), (Fields{"a\rb", "c\r\nd"}));
+}
+
+TEST(CsvRecordReaderTest, BlankLinesSkipped) {
+  std::istringstream in("a,b\n\n\n1,2\n\n");
+  CsvRecordReader reader(in);
+  EXPECT_EQ(ReadOne(&reader), (Fields{"a", "b"}));
+  EXPECT_EQ(ReadOne(&reader), (Fields{"1", "2"}));
+  EXPECT_EQ(reader.record_line(), 4u);
+  Fields fields;
+  Result<bool> end = reader.Next(&fields);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(*end);
+}
+
+TEST(CsvRecordReaderTest, EmptyQuotedFieldIsARecord) {
+  std::istringstream in("\"\"\n");
+  CsvRecordReader reader(in);
+  EXPECT_EQ(ReadOne(&reader), (Fields{""}));
+}
+
+TEST(CsvRecordReaderTest, UnterminatedQuoteFails) {
+  std::istringstream in("a,\"bc\n");
+  CsvRecordReader reader(in);
+  Fields fields;
+  Result<bool> got = reader.Next(&fields);
+  EXPECT_FALSE(got.ok());
+}
+
+TEST(CsvRecordReaderTest, MidFieldQuoteFails) {
+  std::istringstream in("ab\"c\n");
+  CsvRecordReader reader(in);
+  Fields fields;
+  EXPECT_FALSE(reader.Next(&fields).ok());
+}
+
+TEST(CsvTupleSourceTest, ChecksHeaderThenStreams) {
+  SchemaPtr schema = Schema::Make("R", std::vector<std::string>{"x", "y"});
+  std::istringstream in("x,y\r\n1,\"a,b\"\r\n2,c\r\n");
+  CsvTupleSource source(schema, in);
+  Fields fields;
+  Result<bool> got = source.Next(&fields);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(fields, (Fields{"1", "a,b"}));
+  got = source.Next(&fields);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(fields, (Fields{"2", "c"}));
+  got = source.Next(&fields);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(*got);
+}
+
+TEST(CsvTupleSourceTest, HeaderMismatchFails) {
+  SchemaPtr schema = Schema::Make("R", std::vector<std::string>{"x", "y"});
+  std::istringstream in("x,z\n1,2\n");
+  CsvTupleSource source(schema, in);
+  Fields fields;
+  EXPECT_FALSE(source.Next(&fields).ok());
+}
+
+TEST(CsvTupleSourceTest, ArityMismatchReportsLine) {
+  SchemaPtr schema = Schema::Make("R", std::vector<std::string>{"x", "y"});
+  std::istringstream in("x,y\n1,2\n1,2,3\n");
+  CsvTupleSource source(schema, in);
+  Fields fields;
+  Result<bool> got = source.Next(&fields);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  got = source.Next(&fields);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("line 3"), std::string::npos)
+      << got.status();
+}
+
+TEST(CsvTupleSourceTest, EmptyInputFails) {
+  SchemaPtr schema = Schema::Make("R", std::vector<std::string>{"x"});
+  std::istringstream in("");
+  CsvTupleSource source(schema, in);
+  Fields fields;
+  EXPECT_FALSE(source.Next(&fields).ok());
+}
+
+// --- The batch loaders are built on the record reader: hardened inputs
+// must round-trip through ReadCsv/WriteCsv. ---
+
+TEST(CsvHardeningTest, ReadCsvAcceptsEmbeddedNewlines) {
+  SchemaPtr schema = Schema::Make("R", std::vector<std::string>{"x", "y"});
+  std::istringstream in("x,y\n\"a\nb\",c\n");
+  Result<Relation> rel = ReadCsv(schema, in);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  ASSERT_EQ(rel->size(), 1u);
+  EXPECT_EQ(rel->at(0).at(0).as_string(), "a\nb");
+  EXPECT_EQ(rel->at(0).at(1).as_string(), "c");
+}
+
+TEST(CsvHardeningTest, WriteReadRoundTripWithHardValues) {
+  SchemaPtr schema = Schema::Make("R", std::vector<std::string>{"x", "y"});
+  Relation rel(schema);
+  ASSERT_TRUE(rel.AppendStrings({"multi\nline", "com,ma"}).ok());
+  ASSERT_TRUE(rel.AppendStrings({"quo\"te", "cr\rchar"}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(rel, out).ok());
+  std::istringstream in(out.str());
+  Result<Relation> back = ReadCsv(schema, in);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 2u);
+  for (size_t i = 0; i < rel.size(); ++i) {
+    EXPECT_EQ(back->at(i), rel.at(i)) << "row " << i;
+  }
+}
+
+TEST(CsvHardeningTest, ReadCsvInferSchemaHandlesCrlf) {
+  std::istringstream in("x,y\r\n1,2\r\n");
+  Result<Relation> rel = ReadCsvInferSchema("R", in);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->schema()->attr_name(1), "y");
+  ASSERT_EQ(rel->size(), 1u);
+  EXPECT_EQ(rel->at(0).at(1).as_string(), "2");
+}
+
+}  // namespace
+}  // namespace certfix

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace certfix {
@@ -52,6 +55,61 @@ TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
   pool.Submit([&ok] { ++ok; });
   pool.Wait();
   EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  // Destroying the pool while tasks are still queued must run them all:
+  // the destructor only stops workers once the queue is empty (stop_ is
+  // checked together with queue emptiness in WorkerLoop), so no submitted
+  // work is ever dropped.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    // A slow head-of-queue task keeps the rest queued when the
+    // destructor runs.
+    pool.Submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      ++ran;
+    });
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&ran] { ++ran; });
+    }
+    // No Wait(): destruction races the queue directly.
+  }
+  EXPECT_EQ(ran.load(), 41);
+}
+
+TEST(ThreadPoolTest, DestructorAfterFailedTasksDoesNotHang) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&ran] { ++ran; });
+    }
+    // The unobserved wave error must not wedge or crash the destructor.
+  }
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, SingleWorkerDrainsInSubmissionOrder) {
+  // With one worker the queue is strictly FIFO; destruction mid-queue
+  // must preserve that order for the tasks it drains.
+  std::vector<int> order;
+  std::mutex order_mutex;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&order, &order_mutex, i] {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(i);
+      });
+    }
+  }
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
 }
 
 TEST(ParallelForTest, PropagatesChunkException) {
