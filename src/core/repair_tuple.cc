@@ -4,8 +4,8 @@ namespace certfix {
 
 TupleRepair RepairOneTuple(const Saturator& sat, const Tuple& row,
                            AttrSet trusted, AttrSet all,
-                           PoolBridge* bridge) {
-  SaturationResult fix = sat.CheckUniqueFix(row, trusted, bridge);
+                           PoolBridge* bridge, ProbeLog* probes) {
+  SaturationResult fix = sat.CheckUniqueFix(row, trusted, bridge, probes);
   TupleRepair out;
   if (!fix.unique) {
     // No copy of the input here: a conflicting tuple is left unchanged,

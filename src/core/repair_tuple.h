@@ -55,10 +55,14 @@ struct TupleRepair {
 /// classification both engines tally. `all` is the schema's full attribute
 /// set (hoisted by callers out of their per-tuple loop); `bridge`, when
 /// given, must translate `row`'s pool into the master pool and may be
-/// reused across many rows of the same pool.
+/// reused across many rows of the same pool. `probes`, when given, records
+/// the repair's master-index dependency set (fix_state.h) — the incremental
+/// engine re-repairs a tuple only when a master delta hits one of its
+/// recorded probes.
 TupleRepair RepairOneTuple(const Saturator& sat, const Tuple& row,
                            AttrSet trusted, AttrSet all,
-                           PoolBridge* bridge = nullptr);
+                           PoolBridge* bridge = nullptr,
+                           ProbeLog* probes = nullptr);
 
 }  // namespace certfix
 

@@ -24,7 +24,7 @@ std::string FixConflict::ToString(const SchemaPtr& schema) const {
 
 SaturationResult Saturator::Run(const Tuple& t, AttrSet z0, int excluded,
                                 std::vector<Value>* proposals,
-                                PoolBridge* bridge) const {
+                                PoolBridge* bridge, ProbeLog* probes) const {
   SaturationResult result;
   result.fixed = t;
   result.covered = z0;
@@ -54,6 +54,12 @@ SaturationResult Saturator::Run(const Tuple& t, AttrSet z0, int excluded,
       if (z.Contains(b)) continue;
       if (!rule.premise_set().SubsetOf(z)) continue;
       if (!rule.pattern().Matches(result.fixed)) continue;
+      // The single master-data read of the whole engine. Recording the
+      // probe even when the answer is empty matters: a later master insert
+      // creating this key must invalidate the tuple.
+      if (probes != nullptr) {
+        probes->Add(ProbeKeyHash(i, result.fixed, rule.lhs()));
+      }
       // Distinct proposed values only: a key matched by many master rows
       // with the same Bm value yields a single (equivalent) proposal.
       for (const MasterIndex::RhsValue& rv :
@@ -123,10 +129,11 @@ SaturationResult Saturator::SaturateExcluding(
 }
 
 SaturationResult Saturator::CheckUniqueFix(const Tuple& t, AttrSet z0,
-                                           PoolBridge* bridge) const {
+                                           PoolBridge* bridge,
+                                           ProbeLog* probes) const {
   PoolBridge local(t.pool().get(), index_->pool().get());
   if (bridge == nullptr) bridge = &local;
-  SaturationResult full = Run(t, z0, -1, nullptr, bridge);
+  SaturationResult full = Run(t, z0, -1, nullptr, bridge, probes);
   if (!full.unique) return full;
   // Cross-round conflicts: for each attribute B that some move validated,
   // collect every value proposed for B by moves whose premises do not
@@ -134,7 +141,8 @@ SaturationResult Saturator::CheckUniqueFix(const Tuple& t, AttrSet z0,
   AttrSet targets = full.covered.Minus(z0);
   for (AttrId b : targets.ToVector()) {
     std::vector<Value> proposals;
-    SaturationResult excl = Run(t, z0, static_cast<int>(b), &proposals, bridge);
+    SaturationResult excl =
+        Run(t, z0, static_cast<int>(b), &proposals, bridge, probes);
     if (!excl.unique) {
       // Conflict on another attribute surfaced under this order; report.
       full.unique = false;

@@ -89,9 +89,12 @@ class Saturator {
   /// `bridge`, when given, must translate t's pool into the master pool;
   /// long-lived callers (BatchRepair shards) pass one bridge across many
   /// rows so each distinct input value is hashed once per shard, not once
-  /// per row. Null builds a per-call bridge.
+  /// per row. Null builds a per-call bridge. `probes`, when given, records
+  /// every master-index probe across the full and excluded runs — the
+  /// dependency set the incremental engine invalidates on (fix_state.h).
   SaturationResult CheckUniqueFix(const Tuple& t, AttrSet z0,
-                                  PoolBridge* bridge = nullptr) const;
+                                  PoolBridge* bridge = nullptr,
+                                  ProbeLog* probes = nullptr) const;
 
   const RuleSet& rules() const { return *rules_; }
   const Relation& master() const { return *dm_; }
@@ -109,9 +112,11 @@ class Saturator {
   // caller-owned id translation from t's pool into the master pool, reused
   // across the rounds (and, for CheckUniqueFix, across the per-attribute
   // excluded runs) so each distinct input value is hashed at most once.
+  // `probes`, when non-null, records a ProbeKeyHash for every RhsValues
+  // call this run performs.
   SaturationResult Run(const Tuple& t, AttrSet z0, int excluded,
-                       std::vector<Value>* proposals,
-                       PoolBridge* bridge) const;
+                       std::vector<Value>* proposals, PoolBridge* bridge,
+                       ProbeLog* probes = nullptr) const;
 
   const RuleSet* rules_;
   const Relation* dm_;

@@ -1,0 +1,584 @@
+#include "incremental/delta_repair.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace certfix {
+
+DeltaRepairEngine::DeltaRepairEngine(const RuleSet& rules,
+                                     const Relation& master, AttrSet trusted,
+                                     DeltaRepairOptions options)
+    : rules_(&rules),
+      schema_(rules.r_schema()),
+      master_schema_(rules.rm_schema()),
+      trusted_(trusted),
+      all_(rules.r_schema()->AllAttrs()),
+      options_(options),
+      graph_(rules),
+      master_(master.schema()),
+      input_(schema_),
+      repaired_(schema_) {
+  // Private master copy: the engine mutates its master on kMaster* deltas,
+  // and the single-writer pool contract forbids sharing the caller's pool
+  // for that.
+  master_.Reserve(master.size());
+  for (size_t i = 0; i < master.size(); ++i) master_.Append(master.at(i));
+  index_ = std::make_unique<MasterIndex>(*rules_, master_);
+  sat_ = std::make_unique<Saturator>(*rules_, master_, *index_);
+
+  size_t shards = options_.num_shards == 0 ? DefaultParallelism()
+                                           : options_.num_shards;
+  shards = std::min(shards, std::max<size_t>(16, 2 * DefaultParallelism()));
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  if (shards > 1) {
+    window_ = static_cast<uint64_t>(shards) * options_.queue_capacity;
+    queues_.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      queues_.push_back(
+          std::make_unique<BoundedQueue<Job>>(options_.queue_capacity));
+    }
+    workers_.reserve(shards);
+    try {
+      for (size_t s = 0; s < shards; ++s) {
+        workers_.emplace_back([this, s] { WorkerLoop(s); });
+      }
+    } catch (const std::system_error&) {
+      // Thread-resource exhaustion mid-spawn (same stance as the stream
+      // engine): run with the workers that did start, or fall back to the
+      // inline path when none did.
+      queues_.resize(workers_.size());
+      window_ = static_cast<uint64_t>(queues_.size()) * options_.queue_capacity;
+    }
+  }
+}
+
+DeltaRepairEngine::~DeltaRepairEngine() {
+  for (auto& q : queues_) q->Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+size_t DeltaRepairEngine::num_shards() const {
+  return queues_.empty() ? 1 : queues_.size();
+}
+
+Status DeltaRepairEngine::CheckLive() {
+  std::lock_guard<std::mutex> lock(merge_mutex_);
+  if (failed_) {
+    return Status::Internal(
+        "delta engine worker failed; Flush() rethrows the cause");
+  }
+  return Status::OK();
+}
+
+Status DeltaRepairEngine::MasterSchemaCheck(const Tuple& t) const {
+  if (t.schema().get() != master_schema_.get() &&
+      !t.schema()->Equals(*master_schema_)) {
+    return Status::InvalidArgument(
+        "tuple schema does not match master schema " + master_schema_->name());
+  }
+  return Status::OK();
+}
+
+Status DeltaRepairEngine::InputSchemaCheck(const Tuple& t) const {
+  if (t.schema().get() != schema_.get() && !t.schema()->Equals(*schema_)) {
+    return Status::InvalidArgument("tuple schema does not match relation " +
+                                   schema_->name());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+
+bool DeltaRepairEngine::Admit(uint64_t* seq) {
+  if (workers_.empty()) {
+    *seq = next_seq_++;
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(merge_mutex_);
+  if (in_flight_ >= window_) {
+    progress_.wait(lock, [this] { return in_flight_ < window_ || failed_; });
+  }
+  if (failed_) return false;
+  *seq = next_seq_++;
+  ++in_flight_;
+  return true;
+}
+
+Status DeltaRepairEngine::EnqueueRepair(uint32_t slot) {
+  ++stats_.tuples_repaired;
+  Job job;
+  job.slot = slot;
+  job.epoch = sat_epoch_;
+  job.sat = sat_.get();
+  job.values.reserve(schema_->num_attrs());
+  for (size_t a = 0; a < schema_->num_attrs(); ++a) {
+    job.values.push_back(input_.Cell(slot, static_cast<AttrId>(a)));
+  }
+  if (!Admit(&job.seq)) {
+    return Status::Internal("delta engine worker failed");
+  }
+  if (workers_.empty()) {
+    RepairInline(job);
+    return Status::OK();
+  }
+  if (!queues_[slot % queues_.size()]->Push(std::move(job))) {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    --in_flight_;
+    return Status::Internal("delta engine worker failed");
+  }
+  return Status::OK();
+}
+
+void DeltaRepairEngine::RepairInline(const Job& job) {
+  if (local_epoch_ != job.epoch || local_pool_ == nullptr ||
+      local_pool_->size() > options_.pool_recycle_values) {
+    local_pool_ = std::make_shared<ValuePool>();
+    local_bridge_ = std::make_unique<PoolBridge>(
+        local_pool_.get(), job.sat->index().pool().get());
+    local_epoch_ = job.epoch;
+  }
+  Tuple row(schema_, local_pool_);
+  for (size_t a = 0; a < job.values.size(); ++a) {
+    row.Set(static_cast<AttrId>(a), job.values[a]);
+  }
+  ProbeLog probes;
+  TupleRepair r = RepairOneTuple(*job.sat, row, trusted_, all_,
+                                 local_bridge_.get(), &probes);
+  Done done;
+  done.seq = job.seq;
+  done.slot = job.slot;
+  done.report = r.report;
+  done.probes = std::move(probes.hashes);
+  const Tuple& emit = r.report.conflicting() ? row : r.fixed;
+  done.fixed.reserve(schema_->num_attrs());
+  for (size_t a = 0; a < schema_->num_attrs(); ++a) {
+    done.fixed.push_back(emit.at(static_cast<AttrId>(a)));
+  }
+  std::lock_guard<std::mutex> lock(merge_mutex_);
+  ApplyResult(done);
+  ++next_apply_;
+}
+
+void DeltaRepairEngine::WorkerLoop(size_t shard) {
+  try {
+    PoolPtr pool = std::make_shared<ValuePool>();
+    std::unique_ptr<PoolBridge> bridge;
+    uint64_t epoch = ~0ULL;
+    Job job;
+    while (queues_[shard]->Pop(&job)) {
+      if (epoch != job.epoch || bridge == nullptr ||
+          pool->size() > options_.pool_recycle_values) {
+        // New epoch = the master (and its pool) changed under a rebuild
+        // barrier; the ring's mutex published the new saturator.
+        pool = std::make_shared<ValuePool>();
+        bridge = std::make_unique<PoolBridge>(pool.get(),
+                                              job.sat->index().pool().get());
+        epoch = job.epoch;
+      }
+      Tuple row(schema_, pool);
+      for (size_t a = 0; a < job.values.size(); ++a) {
+        row.Set(static_cast<AttrId>(a), std::move(job.values[a]));
+      }
+      ProbeLog probes;
+      TupleRepair r =
+          RepairOneTuple(*job.sat, row, trusted_, all_, bridge.get(), &probes);
+      Done done;
+      done.seq = job.seq;
+      done.slot = job.slot;
+      done.report = r.report;
+      done.probes = std::move(probes.hashes);
+      // Results cross the merge boundary as owned Values (conflicting rows
+      // re-emit their input), exactly like the stream engine's records.
+      const Tuple& emit = r.report.conflicting() ? row : r.fixed;
+      done.fixed.reserve(schema_->num_attrs());
+      for (size_t a = 0; a < schema_->num_attrs(); ++a) {
+        done.fixed.push_back(emit.at(static_cast<AttrId>(a)));
+      }
+      ApplyOrdered(std::move(done));
+    }
+  } catch (...) {
+    Fail(std::current_exception());
+  }
+}
+
+void DeltaRepairEngine::ApplyOrdered(Done done) {
+  std::unique_lock<std::mutex> lock(merge_mutex_);
+  pending_.emplace(done.seq, std::move(done));
+  uint64_t applied = 0;
+  while (!pending_.empty() && pending_.begin()->first == next_apply_) {
+    Done d = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    ApplyResult(d);
+    ++next_apply_;
+    ++applied;
+  }
+  if (applied > 0) {
+    in_flight_ -= applied;
+    progress_.notify_all();
+  }
+}
+
+void DeltaRepairEngine::AddClass(uint8_t cls, int delta) {
+  switch (static_cast<FixClass>(cls)) {
+    case FixClass::kFullyCovered:
+      stats_.fully_covered += delta;
+      break;
+    case FixClass::kPartial:
+      stats_.partial += delta;
+      break;
+    case FixClass::kUntouched:
+      stats_.untouched += delta;
+      break;
+    case FixClass::kConflicting:
+      stats_.conflicting += delta;
+      break;
+  }
+}
+
+void DeltaRepairEngine::UnregisterProbes(uint32_t slot) {
+  for (uint64_t h : slot_probes_[slot]) {
+    auto it = probe_to_slots_.find(h);
+    if (it == probe_to_slots_.end()) continue;
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), slot), v.end());
+    if (v.empty()) probe_to_slots_.erase(it);
+  }
+  slot_probes_[slot].clear();
+}
+
+void DeltaRepairEngine::ApplyResult(Done& d) {
+  uint32_t slot = d.slot;
+  if (slot_class_[slot] == kDeadClass) {
+    return;  // deleted while the repair was in flight
+  }
+  UnregisterProbes(slot);
+  std::sort(d.probes.begin(), d.probes.end());
+  d.probes.erase(std::unique(d.probes.begin(), d.probes.end()),
+                 d.probes.end());
+  for (uint64_t h : d.probes) probe_to_slots_[h].push_back(slot);
+  slot_probes_[slot] = std::move(d.probes);
+
+  for (size_t a = 0; a < d.fixed.size(); ++a) {
+    AttrId attr = static_cast<AttrId>(a);
+    if (repaired_.Cell(slot, attr) != d.fixed[a]) {
+      repaired_.SetCell(slot, attr, std::move(d.fixed[a]));
+    }
+  }
+
+  if (slot_class_[slot] != kPendingClass) AddClass(slot_class_[slot], -1);
+  slot_class_[slot] = static_cast<uint8_t>(d.report.kind);
+  AddClass(slot_class_[slot], +1);
+  cells_changed_total_ +=
+      static_cast<int64_t>(d.report.cells_changed) - slot_cells_[slot];
+  slot_cells_[slot] = static_cast<uint32_t>(d.report.cells_changed);
+}
+
+void DeltaRepairEngine::Fail(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    if (!first_error_) first_error_ = error;
+    failed_ = true;
+  }
+  progress_.notify_all();
+  for (auto& q : queues_) q->Close();
+}
+
+void DeltaRepairEngine::DrainPipeline() {
+  if (!workers_.empty()) {
+    std::unique_lock<std::mutex> lock(merge_mutex_);
+    progress_.wait(lock, [this] { return in_flight_ == 0 || failed_; });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void DeltaRepairEngine::Flush() {
+  Status st = EnsureIndexFresh();  // may enqueue invalidated re-repairs
+  DrainPipeline();
+  if (!st.ok()) {
+    throw std::runtime_error(st.ToString());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Input deltas
+
+Status DeltaRepairEngine::EnsureIndexFresh() {
+  if (!index_stale_) return Status::OK();
+  // A master delta staled the index. The pipeline is already quiescent
+  // (master mutations drain it), so no worker can be probing the old one.
+  index_ = std::make_unique<MasterIndex>(*rules_, master_);
+  sat_ = std::make_unique<Saturator>(*rules_, master_, *index_);
+  ++sat_epoch_;
+  ++stats_.master_rebuilds;
+  index_stale_ = false;
+  std::vector<uint32_t> dirty(dirty_slots_.begin(), dirty_slots_.end());
+  dirty_slots_.clear();
+  stats_.tuples_invalidated += dirty.size();
+  for (uint32_t slot : dirty) {
+    CERTFIX_RETURN_IF_ERROR(EnqueueRepair(slot));
+  }
+  return Status::OK();
+}
+
+Status DeltaRepairEngine::Insert(const Tuple& t) {
+  CERTFIX_RETURN_IF_ERROR(CheckLive());
+  CERTFIX_RETURN_IF_ERROR(EnsureIndexFresh());
+  uint32_t slot = static_cast<uint32_t>(input_.size());
+  CERTFIX_RETURN_IF_ERROR(input_.Append(t));
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    repaired_.Append(t);  // placeholder: input values until the job lands
+    slot_probes_.emplace_back();
+    slot_class_.push_back(kPendingClass);
+    slot_cells_.push_back(0);
+  }
+  order_.push_back(slot);
+  ++stats_.deltas_applied;
+  return EnqueueRepair(slot);
+}
+
+Status DeltaRepairEngine::Update(size_t pos, const Tuple& t) {
+  CERTFIX_RETURN_IF_ERROR(CheckLive());
+  if (pos >= order_.size()) {
+    return Status::InvalidArgument("update position " + std::to_string(pos) +
+                                   " out of range (rows: " +
+                                   std::to_string(order_.size()) + ")");
+  }
+  // Unlike Insert (where Relation::Append validates), UpdateRow indexes
+  // the tuple by this schema's attrs unchecked — validate here.
+  CERTFIX_RETURN_IF_ERROR(InputSchemaCheck(t));
+  CERTFIX_RETURN_IF_ERROR(EnsureIndexFresh());
+  uint32_t slot = order_[pos];
+  AttrSet changed = input_.UpdateRow(slot, t);
+  ++stats_.deltas_applied;
+  if (changed.Empty()) {
+    // Cell-level dirty tracking: the row is byte-identical, its repair is
+    // still exact — nothing to invalidate.
+    ++stats_.noop_updates;
+    return Status::OK();
+  }
+  return EnqueueRepair(slot);
+}
+
+Status DeltaRepairEngine::Delete(size_t pos) {
+  CERTFIX_RETURN_IF_ERROR(CheckLive());
+  if (pos >= order_.size()) {
+    return Status::InvalidArgument("delete position " + std::to_string(pos) +
+                                   " out of range (rows: " +
+                                   std::to_string(order_.size()) + ")");
+  }
+  uint32_t slot = order_[pos];
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(pos));
+  dirty_slots_.erase(slot);
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    UnregisterProbes(slot);
+    if (slot_class_[slot] != kPendingClass) AddClass(slot_class_[slot], -1);
+    cells_changed_total_ -= slot_cells_[slot];
+    slot_cells_[slot] = 0;
+    slot_class_[slot] = kDeadClass;
+  }
+  ++stats_.deltas_applied;
+  return Status::OK();
+}
+
+Status DeltaRepairEngine::Load(const Relation& input) {
+  for (size_t i = 0; i < input.size(); ++i) {
+    CERTFIX_RETURN_IF_ERROR(Insert(input.at(i)));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Master deltas
+
+void DeltaRepairEngine::InvalidateMasterRow(
+    size_t row, const std::vector<size_t>& rule_idxs) {
+  for (size_t i : rule_idxs) {
+    uint64_t h = MasterProbeKeyHash(i, master_, row, rules_->at(i).lhsm());
+    auto it = probe_to_slots_.find(h);
+    if (it == probe_to_slots_.end()) continue;
+    for (uint32_t slot : it->second) {
+      if (slot_class_[slot] != kDeadClass) dirty_slots_.insert(slot);
+    }
+  }
+}
+
+Status DeltaRepairEngine::MasterInsert(const Tuple& t) {
+  CERTFIX_RETURN_IF_ERROR(CheckLive());
+  CERTFIX_RETURN_IF_ERROR(MasterSchemaCheck(t));
+  DrainPipeline();
+  CERTFIX_RETURN_IF_ERROR(master_.Append(t));
+  {
+    // A new master row can answer any rule's probe for its key.
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    std::vector<size_t> every(rules_->size());
+    for (size_t i = 0; i < every.size(); ++i) every[i] = i;
+    InvalidateMasterRow(master_.size() - 1, every);
+  }
+  index_stale_ = true;
+  ++stats_.deltas_applied;
+  return Status::OK();
+}
+
+Status DeltaRepairEngine::MasterUpdate(size_t pos, const Tuple& t) {
+  CERTFIX_RETURN_IF_ERROR(CheckLive());
+  CERTFIX_RETURN_IF_ERROR(MasterSchemaCheck(t));
+  if (pos >= master_.size()) {
+    return Status::InvalidArgument(
+        "master update position " + std::to_string(pos) +
+        " out of range (rows: " + std::to_string(master_.size()) + ")");
+  }
+  // The changed mask only *reads* master_ cells (workers never write the
+  // master), so a self-identical upsert is detected and skipped without
+  // paying the drain barrier. Mutating master_ below does require
+  // quiescence: interning into its pool would race worker probes.
+  AttrSet changed;
+  for (size_t a = 0; a < master_schema_->num_attrs(); ++a) {
+    AttrId attr = static_cast<AttrId>(a);
+    if (master_.Cell(pos, attr) != t.at(attr)) changed.Add(attr);
+  }
+  ++stats_.deltas_applied;
+  if (changed.Empty()) {
+    ++stats_.noop_updates;
+    return Status::OK();
+  }
+  DrainPipeline();
+  // Only rules whose master side reads a changed attribute can answer
+  // differently — and only for the row's old or new key.
+  std::vector<size_t> affected = graph_.RulesReadingMasterAttrs(changed);
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    InvalidateMasterRow(pos, affected);  // old projections
+  }
+  master_.UpdateRow(pos, t);
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    InvalidateMasterRow(pos, affected);  // new projections
+  }
+  if (!affected.empty()) index_stale_ = true;
+  return Status::OK();
+}
+
+Status DeltaRepairEngine::MasterDelete(size_t pos) {
+  CERTFIX_RETURN_IF_ERROR(CheckLive());
+  if (pos >= master_.size()) {
+    return Status::InvalidArgument(
+        "master delete position " + std::to_string(pos) +
+        " out of range (rows: " + std::to_string(master_.size()) + ")");
+  }
+  DrainPipeline();
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    std::vector<size_t> every(rules_->size());
+    for (size_t i = 0; i < every.size(); ++i) every[i] = i;
+    InvalidateMasterRow(pos, every);
+  }
+  // Relations have no erase; rebuild the master without the row. The
+  // MasterIndex rebuild right after is O(|Dm|) anyway. Old index/saturator
+  // reference the dropped relation — destroy them before it goes away.
+  index_.reset();
+  sat_.reset();
+  Relation next(master_schema_);
+  next.Reserve(master_.size() - 1);
+  for (size_t i = 0; i < master_.size(); ++i) {
+    if (i != pos) next.Append(master_.at(i));
+  }
+  master_ = std::move(next);
+  index_stale_ = true;
+  ++stats_.deltas_applied;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Parse-level entry points
+
+Status DeltaRepairEngine::Apply(const Delta& delta) {
+  switch (delta.kind) {
+    case DeltaKind::kInsert: {
+      CERTFIX_ASSIGN_OR_RETURN(Tuple t,
+                               Tuple::FromStrings(schema_, delta.fields));
+      return Insert(t);
+    }
+    case DeltaKind::kUpdate: {
+      CERTFIX_ASSIGN_OR_RETURN(Tuple t,
+                               Tuple::FromStrings(schema_, delta.fields));
+      return Update(delta.row, t);
+    }
+    case DeltaKind::kDelete:
+      return Delete(delta.row);
+    case DeltaKind::kMasterInsert: {
+      CERTFIX_ASSIGN_OR_RETURN(
+          Tuple t, Tuple::FromStrings(master_schema_, delta.fields));
+      return MasterInsert(t);
+    }
+    case DeltaKind::kMasterUpdate: {
+      CERTFIX_ASSIGN_OR_RETURN(
+          Tuple t, Tuple::FromStrings(master_schema_, delta.fields));
+      return MasterUpdate(delta.row, t);
+    }
+    case DeltaKind::kMasterDelete:
+      return MasterDelete(delta.row);
+  }
+  return Status::InvalidArgument("unknown delta kind");
+}
+
+Status DeltaRepairEngine::ApplyAll(DeltaSource* source) {
+  Delta delta;
+  for (;;) {
+    CERTFIX_ASSIGN_OR_RETURN(bool got, source->Next(&delta));
+    if (!got) return Status::OK();
+    CERTFIX_RETURN_IF_ERROR(Apply(delta));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+Relation DeltaRepairEngine::SnapshotRepaired() {
+  Flush();
+  Relation out(schema_);
+  out.Reserve(order_.size());
+  for (uint32_t slot : order_) out.Append(repaired_.at(slot));
+  return out;
+}
+
+Relation DeltaRepairEngine::SnapshotInput() {
+  Flush();
+  Relation out(schema_);
+  out.Reserve(order_.size());
+  for (uint32_t slot : order_) out.Append(input_.at(slot));
+  return out;
+}
+
+std::vector<size_t> DeltaRepairEngine::ConflictPositions() {
+  Flush();
+  std::vector<size_t> out;
+  for (size_t pos = 0; pos < order_.size(); ++pos) {
+    if (slot_class_[order_[pos]] ==
+        static_cast<uint8_t>(FixClass::kConflicting)) {
+      out.push_back(pos);
+    }
+  }
+  return out;
+}
+
+DeltaRepairStats DeltaRepairEngine::stats() {
+  Flush();
+  DeltaRepairStats s = stats_;
+  s.rows = order_.size();
+  s.cells_changed = static_cast<uint64_t>(cells_changed_total_);
+  return s;
+}
+
+}  // namespace certfix

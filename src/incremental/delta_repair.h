@@ -1,0 +1,254 @@
+/// \file delta_repair.h
+/// \brief Update-aware incremental repair engine: maintains a repaired
+/// relation under a mutation stream (inserts, updates, deletes, and
+/// master-data upserts), re-running RepairOneTuple only on the invalidated
+/// region instead of the whole relation.
+///
+/// Correctness contract (the oracle tests/delta_differential_test.cc
+/// hammers): after any delta sequence, SnapshotRepaired() is byte-identical
+/// (under WriteCsv) to BatchRepair run from scratch over the final input
+/// and final master data, at any shard count.
+///
+/// Why incremental repair is exact here: a tuple's repair is a
+/// deterministic function of the tuple, the trusted set Z, Sigma, and the
+/// answers to the master-index probes the saturation issues — tuples never
+/// read each other. Hence:
+///
+///  * Insert/Update/Delete of an input tuple invalidates exactly that
+///    tuple (an update that changes no cell invalidates nothing — cell
+///    level dirty tracking via Relation::UpdateRow).
+///  * A master upsert can only change the answers of probes whose key
+///    matches the touched master row's old or new (Xm, Bm) projection, for
+///    rules whose master side reads a changed attribute
+///    (DependencyGraph::RulesReadingMasterAttrs). Every repair records its
+///    probe set as (rule, key) hashes (ProbeLog, fix_state.h); the engine
+///    keeps the reverse map hash -> tuples, so a master delta re-repairs
+///    exactly the tuples that depended on an affected probe — hash
+///    collisions over-invalidate (sound), never under-invalidate.
+///
+/// Pipeline: mutations ride the same machinery as the streaming engine —
+/// repair jobs are admitted with a sequence number, routed over bounded
+/// rings (BoundedQueue, backpressure) to shard workers running
+/// RepairOneTuple with shard-local pools, and results are applied to the
+/// maintained state strictly in seq order under one merge lock, so the
+/// maintained relation, all counters, and the probe index are
+/// byte-identical at any worker count. Master deltas are barriers: the
+/// engine drains in-flight jobs, mutates the master, and rebuilds the
+/// MasterIndex/Saturator lazily before the next repair (consecutive master
+/// deltas share one rebuild).
+///
+/// Memory: deleted rows leave tombstoned slots in the backing store (live
+/// order is an indirection vector); a long-lived engine under heavy churn
+/// grows with total inserts, not live rows. Shard pools recycle as in the
+/// streaming engine.
+///
+/// Threading contract for callers: all public methods must be called from
+/// one thread (the mutation stream is inherently ordered). Shard workers
+/// are internal.
+
+#ifndef CERTFIX_INCREMENTAL_DELTA_REPAIR_H_
+#define CERTFIX_INCREMENTAL_DELTA_REPAIR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dependency_graph.h"
+#include "core/repair_tuple.h"
+#include "stream/bounded_queue.h"
+#include "stream/delta_source.h"
+
+namespace certfix {
+
+/// \brief Execution knobs, mirroring StreamOptions.
+struct DeltaRepairOptions {
+  /// Shard-worker count. 1 = inline sequential repair (the differential
+  /// reference); 0 = one per hardware thread.
+  size_t num_shards = 1;
+  /// Slots per shard ring; also sizes the in-flight admission window.
+  size_t queue_capacity = 256;
+  /// Recycle a shard's ValuePool once it exceeds this many values.
+  size_t pool_recycle_values = 1u << 16;
+};
+
+/// \brief Counters. The live-state fields (rows..cells_changed) mirror
+/// BatchRepairResult over the currently maintained relation; the activity
+/// fields measure how much work the mutation stream actually caused.
+struct DeltaRepairStats {
+  uint64_t deltas_applied = 0;     ///< mutations accepted
+  uint64_t tuples_repaired = 0;    ///< RepairOneTuple runs (incl. loads)
+  uint64_t tuples_invalidated = 0; ///< re-repairs forced by master deltas
+  uint64_t master_rebuilds = 0;    ///< MasterIndex/Saturator rebuilds
+  uint64_t noop_updates = 0;       ///< updates/upserts changing no cell
+  uint64_t rows = 0;               ///< live rows
+  uint64_t fully_covered = 0;
+  uint64_t partial = 0;
+  uint64_t untouched = 0;
+  uint64_t conflicting = 0;
+  uint64_t cells_changed = 0;      ///< live input-vs-repaired cell diffs
+};
+
+/// \brief Long-lived engine owning the repaired relation plus its
+/// KeyIndex/MasterIndex state.
+class DeltaRepairEngine {
+ public:
+  /// `rules` must outlive the engine. `master` is copied into an
+  /// engine-private pool (the engine mutates its master on kMaster*
+  /// deltas). Every maintained tuple trusts its cells on `trusted`.
+  DeltaRepairEngine(const RuleSet& rules, const Relation& master,
+                    AttrSet trusted, DeltaRepairOptions options = {});
+  ~DeltaRepairEngine();
+
+  DeltaRepairEngine(const DeltaRepairEngine&) = delete;
+  DeltaRepairEngine& operator=(const DeltaRepairEngine&) = delete;
+
+  /// Bulk-inserts every row of `input` (the initial repair rides the same
+  /// sharded pipeline, so loading is parallel at num_shards > 1).
+  Status Load(const Relation& input);
+
+  /// Applies one delta; field vectors are parsed against the input or
+  /// master schema (same typing as CSV loading).
+  Status Apply(const Delta& delta);
+  /// Applies every delta `source` yields.
+  Status ApplyAll(DeltaSource* source);
+
+  Status Insert(const Tuple& t);
+  Status Update(size_t pos, const Tuple& t);  ///< pos: 0-based live position
+  Status Delete(size_t pos);
+  Status MasterInsert(const Tuple& t);
+  Status MasterUpdate(size_t pos, const Tuple& t);
+  Status MasterDelete(size_t pos);
+
+  /// Drains the pipeline and applies any pending invalidation, so reads
+  /// below observe every mutation. Rethrows the first worker error.
+  void Flush();
+
+  /// Live row count (cheap; no flush).
+  size_t size() const { return order_.size(); }
+  const SchemaPtr& schema() const { return schema_; }
+  /// The maintained master. Strictly read-only: interning into its pool
+  /// (e.g. constructing a delta tuple with `Tuple(schema, master().pool())`)
+  /// races the shard workers probing it — build delta tuples in their own
+  /// pool instead.
+  const Relation& master() const { return master_; }
+  size_t num_shards() const;
+
+  /// The maintained repaired relation, compacted to live rows in order
+  /// (flushes first). Byte-identical under WriteCsv to the from-scratch
+  /// BatchRepair oracle.
+  Relation SnapshotRepaired();
+  /// The maintained (unrepaired) input — what the oracle repairs.
+  Relation SnapshotInput();
+  /// Live positions whose last repair conflicted, ascending — mirrors
+  /// BatchRepairResult::conflict_rows (flushes first).
+  std::vector<size_t> ConflictPositions();
+  /// Counter snapshot (flushes first so live-state fields are exact).
+  DeltaRepairStats stats();
+
+ private:
+  // Slot classification: FixClass values 0..3, plus pending (enqueued,
+  // not yet applied) and dead (deleted).
+  static constexpr uint8_t kPendingClass = 4;
+  static constexpr uint8_t kDeadClass = 5;
+
+  /// One repair job riding a shard ring. Carries the saturator pointer and
+  /// its epoch so workers rebuild their pool bridge exactly when a master
+  /// rebuild happened (the queue's mutex publishes the new saturator).
+  struct Job {
+    uint64_t seq = 0;
+    uint32_t slot = 0;
+    uint64_t epoch = 0;
+    const Saturator* sat = nullptr;
+    std::vector<Value> values;
+  };
+  /// One repair result waiting in the reorder buffer.
+  struct Done {
+    uint64_t seq = 0;
+    uint32_t slot = 0;
+    std::vector<Value> fixed;
+    FixReport report;
+    std::vector<uint64_t> probes;
+  };
+
+  Status CheckLive();
+  /// Rebuilds MasterIndex/Saturator if a master delta staled them, then
+  /// enqueues re-repairs for the invalidated slots.
+  Status EnsureIndexFresh();
+  Status EnqueueRepair(uint32_t slot);
+  void RepairInline(const Job& job);
+  bool Admit(uint64_t* seq);
+  void WorkerLoop(size_t shard);
+  void ApplyOrdered(Done done);
+  /// Applies one seq-ordered result to the maintained state. Caller holds
+  /// merge_mutex_.
+  void ApplyResult(Done& done);
+  void UnregisterProbes(uint32_t slot);
+  /// Marks every live slot that probed `row`'s key under one of
+  /// `rule_idxs` dirty. Caller holds merge_mutex_.
+  void InvalidateMasterRow(size_t row, const std::vector<size_t>& rule_idxs);
+  /// Drains the pipeline (in_flight == 0); rethrows worker errors.
+  void DrainPipeline();
+  void Fail(std::exception_ptr error);
+  void AddClass(uint8_t cls, int delta);
+  Status MasterSchemaCheck(const Tuple& t) const;
+  Status InputSchemaCheck(const Tuple& t) const;
+
+  const RuleSet* rules_;
+  SchemaPtr schema_;
+  SchemaPtr master_schema_;
+  AttrSet trusted_;
+  AttrSet all_;
+  DeltaRepairOptions options_;
+  DependencyGraph graph_;
+
+  Relation master_;
+  std::unique_ptr<MasterIndex> index_;
+  std::unique_ptr<Saturator> sat_;
+  uint64_t sat_epoch_ = 0;
+  bool index_stale_ = false;
+
+  /// Slot stores: append-only; order_ holds the live slots in visible
+  /// order. input_ is written by the caller thread only; repaired_ and the
+  /// probe/class bookkeeping below are written under merge_mutex_ (workers
+  /// apply results there).
+  Relation input_;
+  Relation repaired_;
+  std::vector<uint32_t> order_;
+  std::set<uint32_t> dirty_slots_;  ///< pending master invalidation
+
+  std::vector<std::vector<uint64_t>> slot_probes_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> probe_to_slots_;
+  std::vector<uint8_t> slot_class_;
+  std::vector<uint32_t> slot_cells_;  ///< per-slot cells_changed
+
+  // Sequential-path repair state (num_shards == 1).
+  PoolPtr local_pool_;
+  std::unique_ptr<PoolBridge> local_bridge_;
+  uint64_t local_epoch_ = ~0ULL;
+
+  std::vector<std::unique_ptr<BoundedQueue<Job>>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex merge_mutex_;
+  std::condition_variable progress_;  ///< window opens / pipeline drains
+  std::map<uint64_t, Done> pending_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_apply_ = 0;
+  uint64_t in_flight_ = 0;
+  uint64_t window_ = 0;
+  bool failed_ = false;
+  std::exception_ptr first_error_;
+
+  DeltaRepairStats stats_;
+  int64_t cells_changed_total_ = 0;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_INCREMENTAL_DELTA_REPAIR_H_

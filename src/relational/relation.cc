@@ -13,22 +13,44 @@ Tuple Relation::at(size_t i) const {
 }
 
 void Relation::SetCell(size_t row, AttrId attr, Value v) {
-  cols_[attr][row] = pool_->Intern(v);
+  ValueId id = pool_->Intern(std::move(v));
+  if (cols_[attr][row] != id) {
+    cols_[attr][row] = id;
+    BumpVersion(row);
+  }
 }
 
 void Relation::SetRow(size_t row, const Tuple& t) {
+  UpdateRow(row, t);
+}
+
+AttrSet Relation::UpdateRow(size_t row, const Tuple& t) {
+  AttrSet changed;
   if (t.pool() == pool_) {
     for (size_t a = 0; a < cols_.size(); ++a) {
-      cols_[a][row] = t.id_at(static_cast<AttrId>(a));
+      ValueId id = t.id_at(static_cast<AttrId>(a));
+      if (cols_[a][row] != id) {
+        cols_[a][row] = id;
+        changed.Add(static_cast<AttrId>(a));
+      }
     }
-    return;
-  }
-  for (size_t a = 0; a < cols_.size(); ++a) {
-    const Value& v = t.at(static_cast<AttrId>(a));
-    if (Cell(row, static_cast<AttrId>(a)) != v) {
-      cols_[a][row] = pool_->Intern(v);
+  } else {
+    for (size_t a = 0; a < cols_.size(); ++a) {
+      const Value& v = t.at(static_cast<AttrId>(a));
+      if (Cell(row, static_cast<AttrId>(a)) != v) {
+        cols_[a][row] = pool_->Intern(v);
+        changed.Add(static_cast<AttrId>(a));
+      }
     }
   }
+  if (!changed.Empty()) BumpVersion(row);
+  return changed;
+}
+
+void Relation::TrackRowVersions() {
+  if (track_versions_) return;
+  track_versions_ = true;
+  versions_.assign(num_rows_, 1);
 }
 
 Status Relation::Append(const Tuple& t) {
@@ -45,6 +67,7 @@ Status Relation::Append(const Tuple& t) {
       cols_[a].push_back(pool_->Intern(t.at(static_cast<AttrId>(a))));
     }
   }
+  if (track_versions_) versions_.push_back(1);
   ++num_rows_;
   return Status::OK();
 }
@@ -61,6 +84,7 @@ Status Relation::AppendStrings(const std::vector<std::string>& fields) {
     cols_[a].push_back(
         pool_->Intern(Value::Parse(fields[a], schema_->attr_type(attr))));
   }
+  if (track_versions_) versions_.push_back(1);
   ++num_rows_;
   return Status::OK();
 }

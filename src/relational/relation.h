@@ -56,6 +56,26 @@ class Relation {
   /// cross-pool tuples re-intern only the cells that actually differ.
   void SetRow(size_t row, const Tuple& t);
 
+  /// Cell-level dirty tracking: overwrites row `row` with `t`'s cells and
+  /// returns the set of attributes whose value actually changed. Unchanged
+  /// cells keep their interned ids untouched (columns are reused), so an
+  /// upsert that repeats the current row is a guaranteed no-op — the
+  /// incremental engine skips re-repair on an empty mask. Bumps the row
+  /// version iff the mask is non-empty.
+  AttrSet UpdateRow(size_t row, const Tuple& t);
+
+  /// Versioned rows (opt-in): after TrackRowVersions(), every row carries
+  /// a version counter starting at 1, bumped by any mutation that changes
+  /// one of its cells (SetCell, SetRow, UpdateRow). row_version returns 0
+  /// while tracking is off. Gives snapshot caches and diagnostics a cheap
+  /// changed-since check without diffing cells; off by default so
+  /// relations that never ask pay nothing.
+  void TrackRowVersions();
+  bool tracking_row_versions() const { return track_versions_; }
+  uint64_t row_version(size_t row) const {
+    return track_versions_ ? versions_[row] : 0;
+  }
+
   /// Appends a tuple; fails if the tuple's schema differs.
   Status Append(const Tuple& t);
   /// Appends parsing from strings (interns directly, no temporary tuple).
@@ -74,6 +94,7 @@ class Relation {
   /// Relation across many batches.
   void Clear() {
     for (auto& col : cols_) col.clear();
+    versions_.clear();
     num_rows_ = 0;
   }
 
@@ -122,10 +143,16 @@ class Relation {
   void ClearAndReleasePool();
 
  private:
+  void BumpVersion(size_t row) {
+    if (track_versions_) ++versions_[row];
+  }
+
   SchemaPtr schema_;
   PoolPtr pool_;
   std::vector<std::vector<ValueId>> cols_;  // cols_[attr][row]
   size_t num_rows_ = 0;
+  bool track_versions_ = false;
+  std::vector<uint64_t> versions_;  // per row, maintained when tracking
 };
 
 /// ProjectKey over a stored row without materializing a Tuple (same key

@@ -1,0 +1,95 @@
+#include "stream/delta_source.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace certfix {
+
+bool IsMasterDelta(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kMasterInsert:
+    case DeltaKind::kMasterUpdate:
+    case DeltaKind::kMasterDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+Status LineError(size_t line, const std::string& message) {
+  return Status::ParseError("delta log line " + std::to_string(line) + ": " +
+                            message);
+}
+
+bool ParseKind(const std::string& op, DeltaKind* kind) {
+  if (op == "I") *kind = DeltaKind::kInsert;
+  else if (op == "U") *kind = DeltaKind::kUpdate;
+  else if (op == "D") *kind = DeltaKind::kDelete;
+  else if (op == "MI") *kind = DeltaKind::kMasterInsert;
+  else if (op == "MU") *kind = DeltaKind::kMasterUpdate;
+  else if (op == "MD") *kind = DeltaKind::kMasterDelete;
+  else return false;
+  return true;
+}
+
+bool NeedsRow(DeltaKind kind) {
+  return kind == DeltaKind::kUpdate || kind == DeltaKind::kDelete ||
+         kind == DeltaKind::kMasterUpdate || kind == DeltaKind::kMasterDelete;
+}
+
+bool NeedsFields(DeltaKind kind) {
+  return kind != DeltaKind::kDelete && kind != DeltaKind::kMasterDelete;
+}
+
+}  // namespace
+
+Result<bool> DeltaLogSource::Next(Delta* delta) {
+  std::vector<std::string> record;
+  for (;;) {
+    CERTFIX_ASSIGN_OR_RETURN(bool got, reader_.Next(&record));
+    if (!got) return false;
+    if (!record.empty() && !record[0].empty() && record[0][0] == '#') {
+      continue;  // comment record
+    }
+    break;
+  }
+  size_t line = reader_.record_line();
+  if (record.size() < 2) {
+    return LineError(line, "expected at least op and row fields");
+  }
+  delta->fields.clear();
+  if (!ParseKind(record[0], &delta->kind)) {
+    return LineError(line, "unknown op '" + record[0] + "'");
+  }
+  delta->row = 0;
+  if (NeedsRow(delta->kind)) {
+    const std::string& s = record[1];
+    char* end = nullptr;
+    errno = 0;
+    unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
+        s.find('-') != std::string::npos) {
+      return LineError(line, "op " + record[0] +
+                                 " needs a non-negative row, got '" + s + "'");
+    }
+    delta->row = v;
+  }
+  if (NeedsFields(delta->kind)) {
+    const SchemaPtr& schema =
+        IsMasterDelta(delta->kind) ? master_schema_ : schema_;
+    if (record.size() != 2 + schema->num_attrs()) {
+      return LineError(line, "op " + record[0] + " carries " +
+                                 std::to_string(record.size() - 2) +
+                                 " fields, schema arity is " +
+                                 std::to_string(schema->num_attrs()));
+    }
+    delta->fields.assign(record.begin() + 2, record.end());
+  } else if (record.size() != 2) {
+    return LineError(line, "op " + record[0] + " takes no fields");
+  }
+  return true;
+}
+
+}  // namespace certfix

@@ -12,10 +12,12 @@
 #include "core/dependency_graph.h"
 #include "core/zproblems.h"
 #include "core/cregion.h"
+#include "incremental/delta_repair.h"
 #include "mining/rule_miner.h"
 #include "relational/csv.h"
 #include "relational/csv_stream.h"
 #include "rules/rule_parser.h"
+#include "stream/delta_source.h"
 #include "stream/stream_repair.h"
 #include "util/string_util.h"
 
@@ -57,7 +59,8 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
 }
 
 void Usage(std::ostream& err) {
-  err << "usage: certfix <mine|analyze|check|repair|repair-stream> [flags]\n"
+  err << "usage: certfix "
+         "<mine|analyze|check|repair|repair-stream|repair-deltas> [flags]\n"
       << "  mine    --master M.csv [--max-lhs N] [--no-conditional]\n"
       << "  analyze --master M.csv --rules R.rules\n"
       << "  check   --master M.csv --rules R.rules --region a,b,c\n"
@@ -67,7 +70,11 @@ void Usage(std::ostream& err) {
       << "  repair-stream\n"
       << "          --master M.csv --rules R.rules --input D.csv\n"
       << "          --trusted a,b [--output OUT.csv] [--threads N]\n"
-      << "          [--queue-capacity N]\n";
+      << "          [--queue-capacity N]\n"
+      << "  repair-deltas\n"
+      << "          --master M.csv --rules R.rules --input D.csv\n"
+      << "          --deltas D.deltas --trusted a,b [--output OUT.csv]\n"
+      << "          [--threads N] [--queue-capacity N]\n";
 }
 
 /// Renders a rule in the DSL accepted by rule_parser.h.
@@ -422,6 +429,76 @@ int CmdRepairStream(const ParsedArgs& args, std::ostream& out,
   return s.conflicting == 0 ? 0 : 2;
 }
 
+int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
+                    std::ostream& err) {
+  RepairSetup setup;
+  if (int code = LoadRepairSetup(args, err, &setup); code != 0) {
+    return code;
+  }
+  auto deltas_it = args.flags.find("deltas");
+  if (deltas_it == args.flags.end()) {
+    err << "--deltas is required\n";
+    return 1;
+  }
+  DeltaRepairOptions options;
+  if (!ParseSizeFlag(args, "threads", &options.num_shards, err) ||
+      !ParseSizeFlag(args, "queue-capacity", &options.queue_capacity, err)) {
+    return 1;
+  }
+  Result<Relation> input =
+      ReadCsvFile(setup.master.schema(), setup.input_path);
+  if (!input.ok()) {
+    err << input.status() << "\n";
+    return 2;
+  }
+  std::ifstream deltas_in(deltas_it->second);
+  if (!deltas_in) {
+    err << Status::NotFound("cannot open file: " + deltas_it->second) << "\n";
+    return 2;
+  }
+
+  DeltaRepairEngine engine(setup.rules, setup.master, setup.trusted, options);
+  DeltaLogSource source(setup.master.schema(), setup.master.schema(),
+                        deltas_in);
+  DeltaRepairStats stats;
+  try {
+    if (Status st = engine.Load(*input); !st.ok()) {
+      err << st << "\n";
+      return 2;
+    }
+    if (Status st = engine.ApplyAll(&source); !st.ok()) {
+      err << st << "\n";
+      return 2;
+    }
+    stats = engine.stats();
+  } catch (const std::exception& e) {
+    err << "delta engine worker failed: " << e.what() << "\n";
+    return 2;
+  }
+  out << "rows: " << stats.rows
+      << "  fully covered: " << stats.fully_covered
+      << "  partial: " << stats.partial
+      << "  untouched: " << stats.untouched
+      << "  conflicts: " << stats.conflicting
+      << "  cells changed: " << stats.cells_changed << "\n";
+  out << "deltas: " << stats.deltas_applied
+      << "  repairs: " << stats.tuples_repaired
+      << "  invalidated: " << stats.tuples_invalidated
+      << "  rebuilds: " << stats.master_rebuilds
+      << "  no-op updates: " << stats.noop_updates
+      << "  shards: " << engine.num_shards() << "\n";
+  auto output_it = args.flags.find("output");
+  if (output_it != args.flags.end()) {
+    Status st = WriteCsvFile(engine.SnapshotRepaired(), output_it->second);
+    if (!st.ok()) {
+      err << st << "\n";
+      return 2;
+    }
+    out << "repaired relation written to " << output_it->second << "\n";
+  }
+  return stats.conflicting == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -438,6 +515,9 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (parsed.command == "repair") return CmdRepair(parsed, out, err);
   if (parsed.command == "repair-stream") {
     return CmdRepairStream(parsed, out, err);
+  }
+  if (parsed.command == "repair-deltas") {
+    return CmdRepairDeltas(parsed, out, err);
   }
   err << "unknown subcommand: " << parsed.command << "\n";
   Usage(err);

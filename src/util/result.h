@@ -50,6 +50,14 @@ class Result {
   Status status_ = Status::OK();
 };
 
+/// Propagate a non-OK Status out of the current function.
+#define CERTFIX_RETURN_IF_ERROR(expr)                              \
+  do {                                                             \
+    ::certfix::Status CERTFIX_CONCAT_(_st_, __LINE__) = (expr);    \
+    if (!CERTFIX_CONCAT_(_st_, __LINE__).ok())                     \
+      return CERTFIX_CONCAT_(_st_, __LINE__);                      \
+  } while (0)
+
 /// Assign the value of a Result expression to `lhs` or propagate the error.
 #define CERTFIX_ASSIGN_OR_RETURN(lhs, rexpr)   \
   auto CERTFIX_CONCAT_(_res_, __LINE__) = (rexpr);             \

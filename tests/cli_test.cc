@@ -178,6 +178,87 @@ TEST_F(CliTest, RepairStreamMatchesBatchRepairByteForByte) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Golden corpus: checked-in fixtures under tests/golden/ with expected
+// repaired outputs. Any engine divergence — batch, stream, or delta —
+// fails loudly against bytes under version control, not just against a
+// sibling engine.
+
+class GoldenTest : public CliTest {
+ protected:
+  static std::string Golden(const std::string& name) {
+    return std::string(CERTFIX_GOLDEN_DIR) + "/" + name;
+  }
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream bytes;
+    bytes << in.rdbuf();
+    return bytes.str();
+  }
+};
+
+TEST_F(GoldenTest, RepairMatchesGoldenOutput) {
+  ASSERT_EQ(Run({"repair", "--master", Golden("master.csv"), "--rules",
+                 Golden("rules.rules"), "--input", Golden("input.csv"),
+                 "--trusted", "zip,name", "--output", output_path_}),
+            0)
+      << err_.str();
+  EXPECT_EQ(Slurp(output_path_), Slurp(Golden("expected_repair.csv")));
+}
+
+TEST_F(GoldenTest, RepairStreamMatchesGoldenOutput) {
+  for (const char* threads : {"1", "4"}) {
+    ASSERT_EQ(Run({"repair-stream", "--master", Golden("master.csv"),
+                   "--rules", Golden("rules.rules"), "--input",
+                   Golden("input.csv"), "--trusted", "zip,name", "--output",
+                   output_path_, "--threads", threads}),
+              0)
+        << err_.str();
+    EXPECT_EQ(Slurp(output_path_), Slurp(Golden("expected_repair.csv")))
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(GoldenTest, RepairDeltasMatchesGoldenOutput) {
+  for (const char* threads : {"1", "4"}) {
+    ASSERT_EQ(Run({"repair-deltas", "--master", Golden("master.csv"),
+                   "--rules", Golden("rules.rules"), "--input",
+                   Golden("input.csv"), "--deltas", Golden("deltas.log"),
+                   "--trusted", "zip,name", "--output", output_path_,
+                   "--threads", threads, "--queue-capacity", "2"}),
+              0)
+        << err_.str();
+    EXPECT_NE(out_.str().find("invalidated: 2"), std::string::npos)
+        << out_.str();
+    EXPECT_NE(out_.str().find("rebuilds: 1"), std::string::npos)
+        << out_.str();
+    EXPECT_EQ(Slurp(output_path_), Slurp(Golden("expected_deltas.csv")))
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(CliTest, RepairDeltasMissingFlagsFail) {
+  // --deltas is required.
+  EXPECT_EQ(Run({"repair-deltas", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--trusted",
+                 "zip,name"}),
+            1);
+  EXPECT_NE(err_.str().find("--deltas"), std::string::npos);
+}
+
+TEST_F(CliTest, RepairDeltasRejectsMalformedLog) {
+  std::string deltas_path = dir_ + "/bad.deltas";
+  std::ofstream deltas(deltas_path);
+  deltas << "X,0\n";  // unknown op
+  deltas.close();
+  EXPECT_EQ(Run({"repair-deltas", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--deltas",
+                 deltas_path, "--trusted", "zip,name"}),
+            2);
+  EXPECT_NE(err_.str().find("unknown op"), std::string::npos);
+}
+
 TEST_F(CliTest, RepairStreamMissingFlagsFail) {
   EXPECT_EQ(Run({"repair-stream", "--master", master_path_, "--rules",
                  rules_path_}),
