@@ -1,0 +1,46 @@
+/// \file analyze_mode.h
+/// \brief Precondition-gate mode shared by the repair engines' options.
+///
+/// Kept dependency-free (no analyzer includes) so that engine option
+/// structs can carry a mode without pulling the whole analysis layer into
+/// every translation unit; the gate itself lives in analysis/analyzer.h.
+
+#ifndef CERTFIX_ANALYSIS_ANALYZE_MODE_H_
+#define CERTFIX_ANALYSIS_ANALYZE_MODE_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace certfix {
+
+/// \brief How an engine treats ruleset analysis before accepting work.
+///
+///  - kOff:    no analysis; the engine trusts its (Sigma, Dm, Z) as-is.
+///  - kWarn:   run the analyzer at construction, log every diagnostic at
+///             warn level, proceed regardless.
+///  - kStrict: run the analyzer; refuse the session (fail construction /
+///             first mutation) when any error-severity diagnostic exists,
+///             carrying the witness in the returned Status.
+enum class AnalyzeMode { kOff = 0, kWarn = 1, kStrict = 2 };
+
+inline const char* AnalyzeModeName(AnalyzeMode mode) {
+  switch (mode) {
+    case AnalyzeMode::kOff: return "off";
+    case AnalyzeMode::kWarn: return "warn";
+    case AnalyzeMode::kStrict: return "strict";
+  }
+  return "?";
+}
+
+inline Result<AnalyzeMode> ParseAnalyzeMode(const std::string& text) {
+  if (text == "off") return AnalyzeMode::kOff;
+  if (text == "warn") return AnalyzeMode::kWarn;
+  if (text == "strict") return AnalyzeMode::kStrict;
+  return Status::InvalidArgument("unknown analyze mode '" + text +
+                                 "' (expected off|warn|strict)");
+}
+
+}  // namespace certfix
+
+#endif  // CERTFIX_ANALYSIS_ANALYZE_MODE_H_

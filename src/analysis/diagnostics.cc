@@ -1,0 +1,177 @@
+#include "analysis/diagnostics.h"
+
+#include <cstdio>
+
+namespace certfix {
+
+namespace {
+
+std::string Indent(int levels) { return std::string(2 * levels, ' '); }
+
+std::string JsonStringArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(items[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+const char* DiagnosticKindName(DiagnosticKind kind) {
+  switch (kind) {
+    case DiagnosticKind::kUnknownAttribute: return "unknown-attribute";
+    case DiagnosticKind::kTypeMismatch: return "type-mismatch";
+    case DiagnosticKind::kRuleConflict: return "rule-conflict";
+    case DiagnosticKind::kDependencyCycle: return "dependency-cycle";
+    case DiagnosticKind::kDeadRule: return "dead-rule";
+    case DiagnosticKind::kShadowedRule: return "shadowed-rule";
+    case DiagnosticKind::kCoverageGap: return "coverage-gap";
+    case DiagnosticKind::kAnalysisBudget: return "analysis-budget";
+    case DiagnosticKind::kParseError: return "parse-error";
+  }
+  return "?";
+}
+
+const char* DiagnosticSeverityName(DiagnosticSeverity severity) {
+  switch (severity) {
+    case DiagnosticSeverity::kError: return "error";
+    case DiagnosticSeverity::kWarning: return "warning";
+    case DiagnosticSeverity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = std::string(DiagnosticSeverityName(severity)) + "[" +
+                    DiagnosticKindName(kind) + "] " + message;
+  return out;
+}
+
+std::string Diagnostic::ToJson(int indent) const {
+  const std::string in = Indent(indent);
+  const std::string field = Indent(indent + 1);
+  std::string out = in + "{\n";
+  out += field + "\"kind\": \"" + DiagnosticKindName(kind) + "\",\n";
+  out += field + "\"severity\": \"" + DiagnosticSeverityName(severity) + "\"";
+  if (!rules.empty()) {
+    out += ",\n" + field + "\"rules\": " + JsonStringArray(rules);
+  }
+  if (!attr.empty()) {
+    out += ",\n" + field + "\"attr\": \"" + JsonEscape(attr) + "\"";
+  }
+  if (!witness.empty()) {
+    out += ",\n" + field + "\"witness\": \"" + JsonEscape(witness) + "\"";
+  }
+  out += ",\n" + field + "\"message\": \"" + JsonEscape(message) + "\"\n";
+  out += in + "}";
+  return out;
+}
+
+size_t RulesetReport::errors() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagnosticSeverity::kError) ++n;
+  }
+  return n;
+}
+
+size_t RulesetReport::warnings() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagnosticSeverity::kWarning) ++n;
+  }
+  return n;
+}
+
+const Diagnostic* RulesetReport::FirstError() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagnosticSeverity::kError) return &d;
+  }
+  return nullptr;
+}
+
+std::string RulesetReport::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"rules\": " + std::to_string(num_rules) + ",\n";
+  out += "  \"trusted\": " + JsonStringArray(trusted) + ",\n";
+  out += "  \"fixable\": " + JsonStringArray(fixable) + ",\n";
+  out += "  \"probes\": " + std::to_string(probes) + ",\n";
+  out += "  \"errors\": " + std::to_string(errors()) + ",\n";
+  out += "  \"warnings\": " + std::to_string(warnings()) + ",\n";
+  out += "  \"summary\": [";
+  for (size_t i = 0; i < summary.size(); ++i) {
+    const RuleSummaryRow& row = summary[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"rule\": \"" + JsonEscape(row.rule) + "\", \"reachable\": " +
+           (row.reachable ? "true" : "false") +
+           ", \"fanout\": " + std::to_string(row.fanout) +
+           ", \"downstream\": " + std::to_string(row.downstream) + "}";
+  }
+  out += summary.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"diagnostics\": [";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += diagnostics[i].ToJson(2);
+  }
+  out += diagnostics.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string RulesetReport::ToText() const {
+  std::string out = "ruleset analysis: " + std::to_string(num_rules) +
+                    " rule(s), trusted Z = {";
+  for (size_t i = 0; i < trusted.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += trusted[i];
+  }
+  out += "}, fixable = {";
+  for (size_t i = 0; i < fixable.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fixable[i];
+  }
+  out += "}\n";
+  for (const RuleSummaryRow& row : summary) {
+    out += "  rule " + row.rule + ": " +
+           (row.reachable ? "reachable" : "unreachable") +
+           ", fanout " + std::to_string(row.fanout) + ", downstream " +
+           std::to_string(row.downstream) + "\n";
+  }
+  for (const Diagnostic& d : diagnostics) {
+    out += "  " + d.ToString() + "\n";
+  }
+  out += "result: " + std::to_string(errors()) + " error(s), " +
+         std::to_string(warnings()) + " warning(s), " +
+         std::to_string(probes) + " probe(s)\n";
+  return out;
+}
+
+}  // namespace certfix

@@ -1,5 +1,6 @@
 #include "core/batch_repair.h"
 
+#include "analysis/analyzer.h"
 #include "core/repair_tuple.h"
 #include "util/thread_pool.h"
 
@@ -84,6 +85,13 @@ BatchRepairResult BatchRepair::Repair(const Relation& data,
     }
   }
   return result;
+}
+
+Result<BatchRepairResult> BatchRepair::RepairChecked(const Relation& data,
+                                                     AttrSet trusted) const {
+  CERTFIX_RETURN_IF_ERROR(
+      GateRuleset(*sat_, trusted, options_.analyze_first, "BatchRepair"));
+  return Repair(data, trusted);
 }
 
 }  // namespace certfix

@@ -34,7 +34,9 @@
 #ifndef CERTFIX_CORE_BATCH_REPAIR_H_
 #define CERTFIX_CORE_BATCH_REPAIR_H_
 
+#include "analysis/analyze_mode.h"
 #include "core/saturation.h"
+#include "util/result.h"
 
 namespace certfix {
 
@@ -45,6 +47,10 @@ struct RepairOptions {
   size_t num_threads = 1;
   /// Rows per shard. 0 = divide the input evenly over the workers.
   size_t chunk_size = 0;
+  /// Ruleset analysis before repairing (RepairChecked only): off trusts
+  /// (Sigma, Dm, Z) as-is, warn logs analyzer diagnostics, strict refuses
+  /// inconsistent rulesets with the witness in the error (analyzer.h).
+  AnalyzeMode analyze_first = AnalyzeMode::kOff;
 };
 
 /// \brief Outcome of repairing one relation.
@@ -68,6 +74,13 @@ class BatchRepair {
   /// Repairs a copy of `data`, trusting t[Z] of every tuple. Tuples that
   /// fail the unique-fix check are reported and left unchanged.
   BatchRepairResult Repair(const Relation& data, AttrSet trusted) const;
+
+  /// Repair behind the options' analyze_first gate: runs the ruleset
+  /// analyzer first and, under strict, returns Inconsistent (witness in
+  /// the message) instead of repairing when the ruleset has errors. With
+  /// analyze_first = off this is exactly Repair.
+  Result<BatchRepairResult> RepairChecked(const Relation& data,
+                                          AttrSet trusted) const;
 
   const RepairOptions& options() const { return options_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/analyzer.h"
 #include "util/thread_pool.h"
 
 namespace certfix {
@@ -16,6 +17,7 @@ DeltaRepairEngine::DeltaRepairEngine(const RuleSet& rules,
       all_(rules.r_schema()->AllAttrs()),
       options_(options),
       graph_(rules),
+      summary_(graph_, trusted),
       master_(master.schema()),
       input_(schema_),
       repaired_(schema_) {
@@ -26,6 +28,13 @@ DeltaRepairEngine::DeltaRepairEngine(const RuleSet& rules,
   for (size_t i = 0; i < master.size(); ++i) master_.Append(master.at(i));
   index_ = std::make_unique<MasterIndex>(*rules_, master_);
   sat_ = std::make_unique<Saturator>(*rules_, master_, *index_);
+
+  // The analyze_first gate runs before any worker exists: a strict
+  // rejection leaves the engine inert with the verdict in
+  // precheck_status_ — every mutator returns it via CheckLive.
+  precheck_status_ = GateRuleset(*sat_, trusted_, options_.analyze_first,
+                                 "DeltaRepairEngine");
+  if (!precheck_status_.ok()) return;
 
   size_t shards = options_.num_shards == 0 ? DefaultParallelism()
                                            : options_.num_shards;
@@ -65,6 +74,7 @@ size_t DeltaRepairEngine::num_shards() const {
 }
 
 Status DeltaRepairEngine::CheckLive() {
+  if (!precheck_status_.ok()) return precheck_status_;
   std::lock_guard<std::mutex> lock(merge_mutex_);
   if (failed_) {
     return Status::Internal(
@@ -337,7 +347,8 @@ Status DeltaRepairEngine::Insert(const Tuple& t) {
   CERTFIX_RETURN_IF_ERROR(input_.Append(t));
   {
     std::lock_guard<std::mutex> lock(merge_mutex_);
-    repaired_.Append(t);  // placeholder: input values until the job lands
+    // Placeholder: input values until the job lands.
+    repaired_.Append(t);  // contract-lint: allow(status-discard) schema-checked on entry
     slot_probes_.emplace_back();
     slot_class_.push_back(kPendingClass);
     slot_cells_.push_back(0);
@@ -455,8 +466,9 @@ Status DeltaRepairEngine::MasterUpdate(size_t pos, const Tuple& t) {
   }
   DrainPipeline();
   // Only rules whose master side reads a changed attribute can answer
-  // differently — and only for the row's old or new key.
-  std::vector<size_t> affected = graph_.RulesReadingMasterAttrs(changed);
+  // differently — and only for the row's old or new key. The summary's
+  // precomputed per-attribute rule lists front the graph walk here.
+  std::vector<size_t> affected = summary_.RulesReadingMasterAttrs(changed);
   {
     std::lock_guard<std::mutex> lock(merge_mutex_);
     InvalidateMasterRow(pos, affected);  // old projections

@@ -59,6 +59,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/analyze_mode.h"
+#include "analysis/rule_summary.h"
 #include "core/dependency_graph.h"
 #include "core/repair_tuple.h"
 #include "stream/bounded_queue.h"
@@ -75,6 +77,10 @@ struct DeltaRepairOptions {
   size_t queue_capacity = 256;
   /// Recycle a shard's ValuePool once it exceeds this many values.
   size_t pool_recycle_values = 1u << 16;
+  /// Ruleset analysis at construction (analysis/analyzer.h): warn logs
+  /// every diagnostic and proceeds; strict refuses the session — every
+  /// mutator returns the Inconsistent verdict (conflict witness included).
+  AnalyzeMode analyze_first = AnalyzeMode::kOff;
 };
 
 /// \brief Counters. The live-state fields (rows..cells_changed) mirror
@@ -151,6 +157,15 @@ class DeltaRepairEngine {
   /// Counter snapshot (flushes first so live-state fields are exact).
   DeltaRepairStats stats();
 
+  /// The analyze_first verdict from construction. OK unless the options
+  /// asked for strict analysis and the ruleset was rejected, in which
+  /// case every mutator returns this status (witness in the message).
+  const Status& precheck_status() const { return precheck_status_; }
+
+  /// Precomputed per-rule reachability/fan-out shared with the
+  /// master-delta invalidation path (analysis/rule_summary.h).
+  const RuleSetSummary& summary() const { return summary_; }
+
  private:
   // Slot classification: FixClass values 0..3, plus pending (enqueued,
   // not yet applied) and dead (deleted).
@@ -206,6 +221,8 @@ class DeltaRepairEngine {
   AttrSet all_;
   DeltaRepairOptions options_;
   DependencyGraph graph_;
+  RuleSetSummary summary_;  ///< fronts graph_ on the invalidation path
+  Status precheck_status_;  ///< strict analyze_first verdict
 
   Relation master_;
   std::unique_ptr<MasterIndex> index_;

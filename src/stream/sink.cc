@@ -30,7 +30,7 @@ void CollectingSink::Emit(const StreamRecord& record) {
   for (size_t a = 0; a < record.fixed.size(); ++a) {
     row.Set(static_cast<AttrId>(a), record.fixed[a]);
   }
-  repaired_.Append(row);
+  repaired_.Append(row);  // contract-lint: allow(status-discard) row is schema-built above
   reports_.push_back(record.report);
   if (record.report.conflicting()) {
     conflict_rows_.push_back(static_cast<size_t>(record.seq));

@@ -1,7 +1,9 @@
 #include "stream/stream_repair.h"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "analysis/analyzer.h"
 #include "util/thread_pool.h"
 
 namespace certfix {
@@ -16,6 +18,17 @@ StreamRepairEngine::StreamRepairEngine(const Saturator& sat, AttrSet trusted,
       all_(sat.rules().r_schema()->AllAttrs()),
       sink_(sink),
       options_(options) {
+  // The analyze_first gate runs before any worker exists: a strict
+  // rejection leaves the engine inert (no queues, no threads) with the
+  // verdict in precheck_status_ — Push refuses, Finish rethrows.
+  precheck_status_ = GateRuleset(sat, trusted_, options_.analyze_first,
+                                 "StreamRepairEngine");
+  if (!precheck_status_.ok()) {
+    failed_ = true;
+    first_error_ = std::make_exception_ptr(
+        std::runtime_error(precheck_status_.ToString()));
+    return;
+  }
   size_t shards = options_.num_shards == 0 ? DefaultParallelism()
                                            : options_.num_shards;
   shards = std::min(shards, std::max<size_t>(16, 2 * DefaultParallelism()));
@@ -126,6 +139,7 @@ Status StreamRepairEngine::PushStrings(
         Value::Parse(fields[a], schema_->attr_type(static_cast<AttrId>(a))));
   }
   if (!PushItem(std::move(item))) {
+    if (!precheck_status_.ok()) return precheck_status_;
     return Status::Internal("stream engine is finished or failed");
   }
   return Status::OK();

@@ -58,10 +58,12 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/analyze_mode.h"
 #include "core/repair_tuple.h"
 #include "stream/bounded_queue.h"
 #include "stream/sink.h"
 #include "stream/stream_metrics.h"
+#include "util/status.h"
 
 namespace certfix {
 
@@ -79,6 +81,11 @@ struct StreamOptions {
   /// legal); the default keeps a shard's dictionary around a few MB on
   /// string-heavy streams.
   size_t pool_recycle_values = 1u << 16;
+  /// Ruleset analysis at construction (analysis/analyzer.h): warn logs
+  /// every diagnostic and proceeds; strict refuses the session — no
+  /// workers are spawned, Push returns false, PushStrings and Finish
+  /// surface the Inconsistent status with the conflict witness.
+  AnalyzeMode analyze_first = AnalyzeMode::kOff;
 };
 
 /// \brief Long-lived online repair engine.
@@ -116,6 +123,11 @@ class StreamRepairEngine {
 
   /// Live counters (exact only after Finish; see stream_metrics.h).
   const StreamMetrics& metrics() const { return metrics_; }
+
+  /// The analyze_first verdict from construction. OK unless the options
+  /// asked for strict analysis and the ruleset was rejected, in which
+  /// case the engine accepts no tuples and this carries the witness.
+  const Status& precheck_status() const { return precheck_status_; }
 
   size_t num_shards() const { return queues_.size(); }
   const SchemaPtr& schema() const { return schema_; }
@@ -159,6 +171,7 @@ class StreamRepairEngine {
   bool failed_ = false;
   bool finished_ = false;
   std::exception_ptr first_error_;
+  Status precheck_status_;              ///< strict analyze_first verdict
 };
 
 }  // namespace certfix

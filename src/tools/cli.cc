@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "analysis/analyzer.h"
 #include "core/batch_repair.h"
 #include "core/dependency_graph.h"
 #include "core/zproblems.h"
@@ -45,7 +46,7 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
       continue;
     }
     std::string key = a.substr(2);
-    if (key == "no-conditional") {
+    if (key == "no-conditional" || key == "json" || key == "strict") {
       out.flags[key] = "true";
       continue;
     }
@@ -62,19 +63,21 @@ void Usage(std::ostream& err) {
   err << "usage: certfix "
          "<mine|analyze|check|repair|repair-stream|repair-deltas> [flags]\n"
       << "  mine    --master M.csv [--max-lhs N] [--no-conditional]\n"
-      << "  analyze --master M.csv --rules R.rules\n"
+      << "  analyze --master M.csv --rules R.rules [--trusted a,b]\n"
+      << "          [--json] [--strict] [--max-probes N]\n"
       << "  check   --master M.csv --rules R.rules --region a,b,c\n"
       << "  repair  --master M.csv --rules R.rules --input D.csv\n"
       << "          --trusted a,b [--output OUT.csv] [--threads N]\n"
-      << "          [--chunk-size N]\n"
+      << "          [--chunk-size N] [--analyze off|warn|strict]\n"
       << "  repair-stream\n"
       << "          --master M.csv --rules R.rules --input D.csv\n"
       << "          --trusted a,b [--output OUT.csv] [--threads N]\n"
-      << "          [--queue-capacity N]\n"
+      << "          [--queue-capacity N] [--analyze off|warn|strict]\n"
       << "  repair-deltas\n"
       << "          --master M.csv --rules R.rules --input D.csv\n"
       << "          --deltas D.deltas --trusted a,b [--output OUT.csv]\n"
-      << "          [--threads N] [--queue-capacity N]\n";
+      << "          [--threads N] [--queue-capacity N]\n"
+      << "          [--analyze off|warn|strict]\n";
 }
 
 /// Renders a rule in the DSL accepted by rule_parser.h.
@@ -167,8 +170,46 @@ int CmdMine(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// Parses an optional non-negative integer flag. 0 is a meaningful value
+/// for every size knob (all hardware threads / even split), so a typo
+/// must not silently parse to it.
+bool ParseSizeFlag(const ParsedArgs& args, const char* flag, size_t* out,
+                   std::ostream& err) {
+  auto it = args.flags.find(flag);
+  if (it == args.flags.end()) return true;
+  const std::string& s = it->second;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
+      s.find('-') != std::string::npos) {
+    err << "--" << flag << " needs a non-negative integer, got '" << s
+        << "'\n";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Parses the optional --analyze off|warn|strict flag shared by the
+/// repair commands.
+bool ParseAnalyzeFlag(const ParsedArgs& args, AnalyzeMode* mode,
+                      std::ostream& err) {
+  auto it = args.flags.find("analyze");
+  if (it == args.flags.end()) return true;
+  Result<AnalyzeMode> parsed = ParseAnalyzeMode(it->second);
+  if (!parsed.ok()) {
+    err << parsed.status() << "\n";
+    return false;
+  }
+  *mode = *parsed;
+  return true;
+}
+
 int CmdAnalyze(const ParsedArgs& args, std::ostream& out,
                std::ostream& err) {
+  const bool json = args.flags.count("json") > 0;
+  const bool strict = args.flags.count("strict") > 0;
   Result<Relation> master = LoadMaster(args);
   if (!master.ok()) {
     err << master.status() << "\n";
@@ -176,9 +217,55 @@ int CmdAnalyze(const ParsedArgs& args, std::ostream& out,
   }
   Result<RuleSet> rules = LoadRules(args, master->schema());
   if (!rules.ok()) {
-    err << rules.status() << "\n";
+    // An unreadable file stays a plain error; a ruleset that *parsed
+    // wrong* becomes a diagnostic so --json consumers see one format.
+    if (rules.status().code() == StatusCode::kNotFound &&
+        rules.status().message().rfind("cannot open", 0) == 0) {
+      err << rules.status() << "\n";
+      return 2;
+    }
+    RulesetReport report;
+    Diagnostic d;
+    // ParseRules rewraps every failure as kParseError with a "line N:"
+    // prefix, so the unknown-attribute case is recognized by the
+    // Schema::Resolve message it carries.
+    d.kind = rules.status().code() == StatusCode::kNotFound ||
+                     rules.status().message().find("has no attribute") !=
+                         std::string::npos
+                 ? DiagnosticKind::kUnknownAttribute
+                 : DiagnosticKind::kParseError;
+    d.severity = DiagnosticSeverity::kError;
+    d.message = rules.status().message();
+    report.diagnostics.push_back(std::move(d));
+    if (json) {
+      out << report.ToJson();
+    } else {
+      out << report.ToText();
+    }
     return 2;
   }
+
+  AttrSet trusted = RulesetAnalyzer::DefaultTrusted(*rules);
+  if (auto it = args.flags.find("trusted"); it != args.flags.end()) {
+    Result<std::vector<AttrId>> z = ResolveList(master->schema(), it->second);
+    if (!z.ok()) {
+      err << z.status() << "\n";
+      return 2;
+    }
+    trusted = AttrSet::FromVector(*z);
+  }
+  AnalyzeOptions options;
+  if (!ParseSizeFlag(args, "max-probes", &options.max_probes, err)) {
+    return 1;
+  }
+
+  RulesetAnalyzer analyzer(*rules, master->schema());
+  RulesetReport report = analyzer.Analyze(&*master, trusted, options);
+  if (json) {
+    out << report.ToJson();
+    return strict && !report.ok() ? 2 : 0;
+  }
+
   MasterIndex index(*rules, *master);
   Saturator sat(*rules, *master, index);
   RegionFinder finder(sat);
@@ -202,8 +289,8 @@ int CmdAnalyze(const ParsedArgs& args, std::ostream& out,
   for (AttrId a : finder.GRegionZ()) {
     out << " " << master->schema()->attr_name(a);
   }
-  out << "\n";
-  return 0;
+  out << "\n\n" << report.ToText();
+  return strict && !report.ok() ? 2 : 0;
 }
 
 int CmdCheck(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
@@ -242,27 +329,6 @@ int CmdCheck(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   out << "certain region: yes (for the validated rows)\n";
   return 0;
-}
-
-/// Parses an optional non-negative integer flag. 0 is a meaningful value
-/// for every size knob (all hardware threads / even split), so a typo
-/// must not silently parse to it.
-bool ParseSizeFlag(const ParsedArgs& args, const char* flag, size_t* out,
-                   std::ostream& err) {
-  auto it = args.flags.find(flag);
-  if (it == args.flags.end()) return true;
-  const std::string& s = it->second;
-  char* end = nullptr;
-  errno = 0;
-  unsigned long v = std::strtoul(s.c_str(), &end, 10);
-  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
-      s.find('-') != std::string::npos) {
-    err << "--" << flag << " needs a non-negative integer, got '" << s
-        << "'\n";
-    return false;
-  }
-  *out = v;
-  return true;
 }
 
 /// Setup both repair commands share: master data, rules, the input
@@ -322,13 +388,20 @@ int CmdRepair(const ParsedArgs& args, std::ostream& out,
   }
   RepairOptions options;
   if (!ParseSizeFlag(args, "threads", &options.num_threads, err) ||
-      !ParseSizeFlag(args, "chunk-size", &options.chunk_size, err)) {
+      !ParseSizeFlag(args, "chunk-size", &options.chunk_size, err) ||
+      !ParseAnalyzeFlag(args, &options.analyze_first, err)) {
     return 1;
   }
   MasterIndex index(setup.rules, setup.master);
   Saturator sat(setup.rules, setup.master, index);
   BatchRepair repair(sat, options);
-  BatchRepairResult result = repair.Repair(*input, setup.trusted);
+  Result<BatchRepairResult> checked =
+      repair.RepairChecked(*input, setup.trusted);
+  if (!checked.ok()) {
+    err << checked.status() << "\n";
+    return 2;
+  }
+  BatchRepairResult result = std::move(checked).ValueOrDie();
   out << "rows: " << input->size()
       << "  fully covered: " << result.tuples_fully_covered
       << "  partial: " << result.tuples_partial
@@ -355,7 +428,8 @@ int CmdRepairStream(const ParsedArgs& args, std::ostream& out,
   }
   StreamOptions options;
   if (!ParseSizeFlag(args, "threads", &options.num_shards, err) ||
-      !ParseSizeFlag(args, "queue-capacity", &options.queue_capacity, err)) {
+      !ParseSizeFlag(args, "queue-capacity", &options.queue_capacity, err) ||
+      !ParseAnalyzeFlag(args, &options.analyze_first, err)) {
     return 1;
   }
   std::ifstream in(setup.input_path);
@@ -385,6 +459,10 @@ int CmdRepairStream(const ParsedArgs& args, std::ostream& out,
   }
 
   StreamRepairEngine engine(sat, setup.trusted, sink.get(), options);
+  if (!engine.precheck_status().ok()) {
+    err << engine.precheck_status() << "\n";
+    return 2;
+  }
   std::vector<std::string> fields;
   for (;;) {
     Result<bool> got = source.Next(&fields);
@@ -442,7 +520,8 @@ int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
   }
   DeltaRepairOptions options;
   if (!ParseSizeFlag(args, "threads", &options.num_shards, err) ||
-      !ParseSizeFlag(args, "queue-capacity", &options.queue_capacity, err)) {
+      !ParseSizeFlag(args, "queue-capacity", &options.queue_capacity, err) ||
+      !ParseAnalyzeFlag(args, &options.analyze_first, err)) {
     return 1;
   }
   Result<Relation> input =
@@ -458,6 +537,10 @@ int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
   }
 
   DeltaRepairEngine engine(setup.rules, setup.master, setup.trusted, options);
+  if (!engine.precheck_status().ok()) {
+    err << engine.precheck_status() << "\n";
+    return 2;
+  }
   DeltaLogSource source(setup.master.schema(), setup.master.schema(),
                         deltas_in);
   DeltaRepairStats stats;
