@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "stream/delta_source.h"
 #include "stream/stream_repair.h"
 #include "util/string_util.h"
+#include "workload/scenario.h"
 
 namespace certfix {
 
@@ -61,7 +63,8 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
 
 void Usage(std::ostream& err) {
   err << "usage: certfix "
-         "<mine|analyze|check|repair|repair-stream|repair-deltas> [flags]\n"
+         "<mine|analyze|check|repair|repair-stream|repair-deltas|"
+         "workload gen> [flags]\n"
       << "  mine    --master M.csv [--max-lhs N] [--no-conditional]\n"
       << "  analyze --master M.csv --rules R.rules [--trusted a,b]\n"
       << "          [--json] [--strict] [--max-probes N]\n"
@@ -77,7 +80,10 @@ void Usage(std::ostream& err) {
       << "          --master M.csv --rules R.rules --input D.csv\n"
       << "          --deltas D.deltas --trusted a,b [--output OUT.csv]\n"
       << "          [--threads N] [--queue-capacity N]\n"
-      << "          [--analyze off|warn|strict]\n";
+      << "          [--analyze off|warn|strict]\n"
+      << "  workload gen\n"
+      << "          --spec S.toml --out-dir DIR [--prefix NAME]\n"
+      << "          (writes NAME_master.csv, NAME_initial.csv, NAME.deltas)\n";
 }
 
 /// Renders a rule in the DSL accepted by rule_parser.h.
@@ -582,11 +588,90 @@ int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
   return stats.conflicting == 0 ? 0 : 2;
 }
 
+int CmdWorkloadGen(const ParsedArgs& args, std::ostream& out,
+                   std::ostream& err) {
+  auto spec_it = args.flags.find("spec");
+  auto dir_it = args.flags.find("out-dir");
+  if (spec_it == args.flags.end() || dir_it == args.flags.end()) {
+    err << "--spec and --out-dir are required\n";
+    return 1;
+  }
+  Result<ScenarioSpec> spec = LoadScenarioSpecFile(spec_it->second);
+  if (!spec.ok()) {
+    err << spec.status() << "\n";
+    return 2;
+  }
+  Result<Scenario> scenario = GenerateScenario(*spec);
+  if (!scenario.ok()) {
+    err << scenario.status() << "\n";
+    return 2;
+  }
+  std::string prefix = scenario->spec.name;
+  if (auto it = args.flags.find("prefix"); it != args.flags.end()) {
+    prefix = it->second;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_it->second, ec);
+  if (ec) {
+    err << "cannot create " << dir_it->second << ": " << ec.message() << "\n";
+    return 2;
+  }
+  std::string base = dir_it->second + "/" + prefix;
+  if (Status st = WriteCsvFile(scenario->master, base + "_master.csv");
+      !st.ok()) {
+    err << st << "\n";
+    return 2;
+  }
+  if (Status st = WriteCsvFile(scenario->initial, base + "_initial.csv");
+      !st.ok()) {
+    err << st << "\n";
+    return 2;
+  }
+  std::ofstream deltas_out(base + ".deltas", std::ios::binary);
+  if (!deltas_out) {
+    err << "cannot open for write: " << base << ".deltas\n";
+    return 2;
+  }
+  if (Status st = WriteDeltaLog(scenario->spec.name, scenario->spec.seed,
+                                scenario->deltas, deltas_out);
+      !st.ok()) {
+    err << st << "\n";
+    return 2;
+  }
+  deltas_out.close();
+  std::string trusted_csv;
+  for (const std::string& name : scenario->trusted_names) {
+    if (!trusted_csv.empty()) trusted_csv += ",";
+    trusted_csv += name;
+  }
+  out << "scenario: " << scenario->spec.name << "  workload: "
+      << scenario->spec.workload << "  seed: " << scenario->spec.seed << "\n";
+  out << "master rows: " << scenario->master.size()
+      << "  initial rows: " << scenario->initial.size()
+      << "  deltas: " << scenario->deltas.size() << "\n";
+  out << "trusted: " << trusted_csv << "\n";
+  out << "wrote " << base << "_master.csv, " << base << "_initial.csv, "
+      << base << ".deltas\n";
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
-  ParsedArgs parsed = ParseArgs(args);
+  // `workload` takes a positional subcommand before the flags; fold it
+  // into the command name so the flag parser stays positional-free.
+  std::vector<std::string> rewritten;
+  if (!args.empty() && args[0] == "workload") {
+    if (args.size() < 2 || args[1] != "gen") {
+      err << "usage: certfix workload gen --spec S.toml --out-dir DIR"
+             " [--prefix NAME]\n";
+      return 1;
+    }
+    rewritten.assign(args.begin() + 1, args.end());
+    rewritten[0] = "workload-gen";
+  }
+  ParsedArgs parsed = ParseArgs(rewritten.empty() ? args : rewritten);
   if (!parsed.errors.empty()) {
     for (const std::string& e : parsed.errors) err << "error: " << e << "\n";
     Usage(err);
@@ -601,6 +686,9 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   }
   if (parsed.command == "repair-deltas") {
     return CmdRepairDeltas(parsed, out, err);
+  }
+  if (parsed.command == "workload-gen") {
+    return CmdWorkloadGen(parsed, out, err);
   }
   err << "unknown subcommand: " << parsed.command << "\n";
   Usage(err);

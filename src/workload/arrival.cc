@@ -1,0 +1,160 @@
+#include "workload/arrival.h"
+
+namespace certfix {
+
+Result<PopularityKind> ParsePopularityKind(const std::string& text) {
+  if (text == "uniform") return PopularityKind::kUniform;
+  if (text == "zipf") return PopularityKind::kZipf;
+  if (text == "hotset") return PopularityKind::kHotSet;
+  return Status::InvalidArgument("unknown popularity kind '" + text +
+                                 "' (want uniform|zipf|hotset)");
+}
+
+const char* ToString(PopularityKind kind) {
+  switch (kind) {
+    case PopularityKind::kUniform: return "uniform";
+    case PopularityKind::kZipf: return "zipf";
+    case PopularityKind::kHotSet: return "hotset";
+  }
+  return "?";
+}
+
+Status PopularityOptions::Validate() const {
+  if (kind == PopularityKind::kZipf && alpha <= 0.0) {
+    return Status::InvalidArgument("popularity.alpha must be > 0");
+  }
+  if (hot_fraction <= 0.0 || hot_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "popularity.hot_fraction must be in (0, 1]");
+  }
+  if (hot_rate < 0.0 || hot_rate > 1.0) {
+    return Status::InvalidArgument("popularity.hot_rate must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+size_t PopularityModel::Pick(size_t n, uint64_t step, Rng* rng) const {
+  switch (options_.kind) {
+    case PopularityKind::kUniform:
+      return rng->Index(n);
+    case PopularityKind::kZipf: {
+      // Dyadic power law: keep halving the range, staying in the lower
+      // half with probability p > 1/2. Rank r then has mass roughly
+      // r^(-log2(p/(1-p))) — skewed toward low indices, with only
+      // IEEE-exact arithmetic (see the header on libm determinism).
+      double p = (1.0 + options_.alpha) / (2.0 + options_.alpha);
+      size_t lo = 0;
+      size_t hi = n;
+      while (hi - lo > 1) {
+        size_t mid = lo + (hi - lo + 1) / 2;
+        if (rng->NextDouble() < p) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      return lo;
+    }
+    case PopularityKind::kHotSet: {
+      size_t hot = static_cast<size_t>(
+          static_cast<double>(n) * options_.hot_fraction);
+      if (hot == 0) hot = 1;
+      if (hot > n) hot = n;
+      size_t start = 0;
+      if (options_.shift_every > 0) {
+        start = static_cast<size_t>(
+            (step / options_.shift_every) * hot % n);
+      }
+      if (rng->Bernoulli(options_.hot_rate)) {
+        return (start + rng->Index(hot)) % n;
+      }
+      return rng->Index(n);
+    }
+  }
+  return rng->Index(n);
+}
+
+Result<ArrivalKind> ParseArrivalKind(const std::string& text) {
+  if (text == "steady") return ArrivalKind::kSteady;
+  if (text == "bursty") return ArrivalKind::kBursty;
+  return Status::InvalidArgument("unknown arrival kind '" + text +
+                                 "' (want steady|bursty)");
+}
+
+const char* ToString(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kSteady: return "steady";
+    case ArrivalKind::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+Status ArrivalOptions::Validate() const {
+  for (double w : {insert_weight, update_weight, delete_weight,
+                   master_insert_weight, master_update_weight,
+                   master_delete_weight}) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("arrival weights must be >= 0");
+    }
+  }
+  if (insert_weight + update_weight + delete_weight <= 0.0) {
+    return Status::InvalidArgument(
+        "arrival input-side weights must not all be zero");
+  }
+  if (master_ratio < 0.0 || master_ratio > 1.0) {
+    return Status::InvalidArgument("arrival.master_ratio must be in [0, 1]");
+  }
+  if (master_ratio > 0.0 && master_insert_weight + master_update_weight +
+                                    master_delete_weight <=
+                                0.0) {
+    return Status::InvalidArgument(
+        "arrival master-side weights must not all be zero when "
+        "master_ratio > 0");
+  }
+  if (master_ratio >= 1.0 &&
+      insert_weight + update_weight + delete_weight > 0.0 &&
+      master_insert_weight + master_update_weight + master_delete_weight <=
+          0.0) {
+    return Status::InvalidArgument("master_ratio = 1 needs master weights");
+  }
+  if (burst_min == 0 || burst_max < burst_min) {
+    return Status::InvalidArgument(
+        "arrival burst lengths need 1 <= burst_min <= burst_max");
+  }
+  return Status::OK();
+}
+
+OpClass ArrivalModel::DrawClass(Rng* rng) const {
+  if (options_.master_ratio > 0.0 &&
+      rng->Bernoulli(options_.master_ratio)) {
+    double total = options_.master_insert_weight +
+                   options_.master_update_weight +
+                   options_.master_delete_weight;
+    double roll = rng->NextDouble() * total;
+    if (roll < options_.master_insert_weight) return OpClass::kMasterInsert;
+    roll -= options_.master_insert_weight;
+    if (roll < options_.master_update_weight) return OpClass::kMasterUpdate;
+    return OpClass::kMasterDelete;
+  }
+  double total = options_.insert_weight + options_.update_weight +
+                 options_.delete_weight;
+  double roll = rng->NextDouble() * total;
+  if (roll < options_.insert_weight) return OpClass::kInsert;
+  roll -= options_.insert_weight;
+  if (roll < options_.update_weight) return OpClass::kUpdate;
+  return OpClass::kDelete;
+}
+
+OpClass ArrivalModel::Next(Rng* rng) {
+  if (options_.kind == ArrivalKind::kSteady) return DrawClass(rng);
+  if (burst_remaining_ == 0) {
+    burst_class_ = DrawClass(rng);
+    burst_remaining_ =
+        options_.burst_min +
+        rng->Index(options_.burst_max - options_.burst_min + 1);
+  }
+  --burst_remaining_;
+  return burst_class_;
+}
+
+}  // namespace certfix

@@ -1,0 +1,141 @@
+/// \file arrival.h
+/// \brief Who gets touched and when: key-popularity distributions and
+/// arrival-shape models for the adversarial scenario generator
+/// (workload/scenario.h).
+///
+/// Both models are pure functions of (options, caller-supplied Rng state),
+/// so a scenario built from one seeded Rng is byte-deterministic. The
+/// "zipf" popularity kind is a dyadic power-law approximation — repeated
+/// biased halving of the index range — rather than a pow()-based inverse
+/// CDF: libm transcendentals are not bit-specified across platforms, and
+/// scenario bytes are pinned by golden fixtures. Comparisons against
+/// NextDouble() use only IEEE-exact operations.
+
+#ifndef CERTFIX_WORKLOAD_ARRIVAL_H_
+#define CERTFIX_WORKLOAD_ARRIVAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+#include "util/result.h"
+
+namespace certfix {
+
+// ---------------------------------------------------------------------------
+// Key popularity: which row a delta targets.
+
+enum class PopularityKind : uint8_t {
+  kUniform,  ///< every live row equally likely
+  kZipf,     ///< power-law skew toward low indices (dyadic approximation)
+  kHotSet,   ///< a small hot window absorbs most picks; optional rotation
+};
+
+Result<PopularityKind> ParsePopularityKind(const std::string& text);
+const char* ToString(PopularityKind kind);
+
+/// \brief Popularity knobs. Defaults reproduce the FDB observation that
+/// real entry streams are heavily skewed (PAPERS.md): a zipf alpha of 1.2
+/// or a 10% hot set taking 90% of traffic.
+struct PopularityOptions {
+  PopularityKind kind = PopularityKind::kUniform;
+  /// Zipf skew exponent (> 0). Larger = more skew. The dyadic scheme
+  /// halves the candidate range with probability (1+alpha)/(2+alpha) per
+  /// split, so alpha = 0 degenerates to near-uniform.
+  double alpha = 1.2;
+  /// Hot-set size as a fraction of the live rows (clamped to >= 1 row).
+  double hot_fraction = 0.1;
+  /// Probability a pick lands inside the hot set.
+  double hot_rate = 0.9;
+  /// Rotate the hot window by its own size every this many steps; 0 keeps
+  /// it static. Models popularity drift ("hot-set shift over time").
+  uint64_t shift_every = 0;
+
+  /// Rejects out-of-range knobs (negative rates, alpha <= 0, ...).
+  Status Validate() const;
+};
+
+/// \brief Picks indices in [0, n) under the configured distribution.
+class PopularityModel {
+ public:
+  explicit PopularityModel(PopularityOptions options)
+      : options_(options) {}
+
+  /// One pick over `n` candidates at scenario step `step` (steps drive
+  /// hot-set rotation). n must be > 0; all randomness comes from `rng`.
+  size_t Pick(size_t n, uint64_t step, Rng* rng) const;
+
+  const PopularityOptions& options() const { return options_; }
+
+ private:
+  PopularityOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// Arrival shape: which operation the next delta performs.
+
+/// \brief Operation classes a scenario step can emit, mirroring DeltaKind
+/// (stream/delta_source.h) one-to-one.
+enum class OpClass : uint8_t {
+  kInsert,
+  kUpdate,
+  kDelete,
+  kMasterInsert,
+  kMasterUpdate,
+  kMasterDelete,
+};
+
+enum class ArrivalKind : uint8_t {
+  kSteady,  ///< i.i.d. categorical draw per step
+  kBursty,  ///< runs of one operation class, lengths drawn per burst
+};
+
+Result<ArrivalKind> ParseArrivalKind(const std::string& text);
+const char* ToString(ArrivalKind kind);
+
+/// \brief Arrival knobs: the input-side operation mix, the master-delta
+/// interleave ratio, and the burst geometry.
+struct ArrivalOptions {
+  ArrivalKind kind = ArrivalKind::kSteady;
+  /// Input-side mix (normalized internally; must not all be zero).
+  double insert_weight = 0.4;
+  double update_weight = 0.4;
+  double delete_weight = 0.2;
+  /// Fraction of steps that mutate master data instead of the input
+  /// relation — the Polynesia-style mixed update/query pressure knob.
+  double master_ratio = 0.0;
+  /// Master-side mix (normalized; used only when master_ratio > 0).
+  double master_insert_weight = 0.4;
+  double master_update_weight = 0.4;
+  double master_delete_weight = 0.2;
+  /// Bursty runs draw a length uniform in [burst_min, burst_max].
+  size_t burst_min = 4;
+  size_t burst_max = 24;
+
+  Status Validate() const;
+};
+
+/// \brief Stateful generator of the per-step operation sequence. Bursty
+/// mode keeps the current run's class and remaining length; steady mode is
+/// stateless per step.
+class ArrivalModel {
+ public:
+  explicit ArrivalModel(ArrivalOptions options) : options_(options) {}
+
+  /// The next step's operation class.
+  OpClass Next(Rng* rng);
+
+  const ArrivalOptions& options() const { return options_; }
+
+ private:
+  OpClass DrawClass(Rng* rng) const;
+
+  ArrivalOptions options_;
+  OpClass burst_class_ = OpClass::kInsert;
+  size_t burst_remaining_ = 0;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_WORKLOAD_ARRIVAL_H_

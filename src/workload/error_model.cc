@@ -1,0 +1,149 @@
+#include "workload/error_model.h"
+
+#include <vector>
+
+namespace certfix {
+
+Status ErrorModelOptions::Validate() const {
+  for (double p : {tuple_error_rate, burst_continue, cell_rate}) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("error rates must be in [0, 1]");
+    }
+  }
+  for (double w : {typo_weight, null_weight, transpose_weight, swap_weight,
+                   hostile_weight}) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("error kind weights must be >= 0");
+    }
+  }
+  if (typo_weight + null_weight + transpose_weight + swap_weight +
+          hostile_weight <=
+      0.0) {
+    return Status::InvalidArgument(
+        "error kind weights must not all be zero");
+  }
+  return Status::OK();
+}
+
+ErrorModel::ErrorModel(ErrorModelOptions options, uint64_t seed,
+                       DirtyGenerator* typo_source)
+    : options_(options), rng_(seed), typo_source_(typo_source) {}
+
+bool ErrorModel::NextTupleDirty() {
+  // In a burst, stay dirty with burst_continue; otherwise enter a burst
+  // with tuple_error_rate. burst_continue == 0 degenerates to i.i.d.
+  // dirtiness at tuple_error_rate.
+  double p = (in_burst_ && options_.burst_continue > 0.0)
+                 ? options_.burst_continue
+                 : options_.tuple_error_rate;
+  in_burst_ = rng_.Bernoulli(p);
+  return in_burst_;
+}
+
+ErrorKind ErrorModel::DrawKind() {
+  double total = options_.typo_weight + options_.null_weight +
+                 options_.transpose_weight + options_.swap_weight +
+                 options_.hostile_weight;
+  double roll = rng_.NextDouble() * total;
+  if (roll < options_.typo_weight) return ErrorKind::kTypo;
+  roll -= options_.typo_weight;
+  if (roll < options_.null_weight) return ErrorKind::kNull;
+  roll -= options_.null_weight;
+  if (roll < options_.transpose_weight) return ErrorKind::kTranspose;
+  roll -= options_.transpose_weight;
+  if (roll < options_.swap_weight) return ErrorKind::kSwapField;
+  return ErrorKind::kHostile;
+}
+
+Value ErrorModel::CorruptValue(const Value& v, DataType type,
+                               ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kNull:
+      return Value();
+    case ErrorKind::kTypo: {
+      if (typo_source_ != nullptr) return typo_source_->Corrupt(v, type);
+      std::string s = v.is_null() ? "x" : v.ToString();
+      if (s.empty()) s = "x";
+      size_t pos = rng_.Index(s.size());
+      s[pos] = static_cast<char>('a' + rng_.Uniform(0, 25));
+      return Value::Str(s);
+    }
+    case ErrorKind::kSwapField:  // tuple-level; degrade to transposition
+    case ErrorKind::kTranspose: {
+      if (v.is_null()) return Value::Str("x");
+      std::string s = v.ToString();
+      if (s.size() < 2) return Value::Str(s + "x");
+      size_t pos = rng_.Index(s.size() - 1);
+      std::swap(s[pos], s[pos + 1]);
+      return Value::Str(s);
+    }
+    case ErrorKind::kHostile: {
+      // The CsvRecordReader special-byte alphabet (csv_fuzz_test): every
+      // one of these must survive FormatCsvLine quoting and parse back.
+      static const char kHostileBytes[] = {'"', ',', '\n', '\r', ' '};
+      std::string s = v.is_null() ? "" : v.ToString();
+      size_t splices = 1 + rng_.Index(3);
+      for (size_t i = 0; i < splices; ++i) {
+        size_t pos = rng_.Index(s.size() + 1);
+        s.insert(s.begin() + static_cast<std::ptrdiff_t>(pos),
+                 kHostileBytes[rng_.Index(std::size(kHostileBytes))]);
+      }
+      return Value::Str(s);
+    }
+  }
+  return v;
+}
+
+AttrSet ErrorModel::PickCluster(const Tuple& t) {
+  AttrSet picked;
+  size_t n = t.size();
+  if (options_.cluster_len > 0) {
+    size_t start = rng_.Index(n);
+    for (size_t i = 0; i < options_.cluster_len && i < n; ++i) {
+      AttrId a = static_cast<AttrId>((start + i) % n);
+      if (!options_.protected_attrs.Contains(a)) picked.Add(a);
+    }
+  } else {
+    for (AttrId a = 0; a < n; ++a) {
+      if (options_.protected_attrs.Contains(a)) continue;
+      if (rng_.Bernoulli(options_.cell_rate)) picked.Add(a);
+    }
+  }
+  return picked;
+}
+
+AttrSet ErrorModel::CorruptTuple(Tuple* t) {
+  AttrSet corrupted;
+  if (!NextTupleDirty()) return corrupted;
+  AttrSet cluster = PickCluster(*t);
+  std::vector<AttrId> attrs = cluster.ToVector();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    AttrId a = attrs[i];
+    ErrorKind kind = DrawKind();
+    if (kind == ErrorKind::kSwapField) {
+      // Swap with the next corruptible attribute (wrapping): two cells
+      // change in one stroke — the classic transposed-form-fields entry.
+      AttrId b = attrs[(i + 1) % attrs.size()];
+      if (b != a) {
+        Value va = t->at(a);
+        Value vb = t->at(b);
+        if (va != vb) {
+          t->Set(a, vb);
+          t->Set(b, std::move(va));
+          corrupted.Add(a);
+          corrupted.Add(b);
+          continue;
+        }
+      }
+      kind = ErrorKind::kTranspose;
+    }
+    Value before = t->at(a);
+    Value after = CorruptValue(before, t->schema()->attr_type(a), kind);
+    if (after == before) continue;
+    t->Set(a, std::move(after));
+    corrupted.Add(a);
+  }
+  return corrupted;
+}
+
+}  // namespace certfix

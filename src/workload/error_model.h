@@ -1,0 +1,101 @@
+/// \file error_model.h
+/// \brief Correlated error injection for the scenario generator: typo,
+/// null, character-transposition, swapped-field, and hostile-CSV-byte
+/// corruption, arriving in bursts (consecutive dirty tuples) and clusters
+/// (contiguous runs of corrupted attributes within one tuple).
+///
+/// This extends the independent per-attribute noise of DirtyGenerator
+/// (workload/dirty_gen.h, the paper's Sect. 6 generator) with the error
+/// shapes real entry streams show: one distracted operator corrupts
+/// several adjacent form fields of several consecutive entries, not one
+/// random cell per thousand. The typo kind delegates to
+/// DirtyGenerator::Corrupt when a generator is supplied, so the paper's
+/// corruption alphabet is reused rather than re-implemented; the hostile
+/// kind injects the CSV reader's special bytes (quote, comma, CR, LF —
+/// the csv_fuzz_test alphabet) so scenario logs exercise quoting end to
+/// end.
+
+#ifndef CERTFIX_WORKLOAD_ERROR_MODEL_H_
+#define CERTFIX_WORKLOAD_ERROR_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relational/tuple.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "workload/dirty_gen.h"
+
+namespace certfix {
+
+/// \brief One corruption primitive.
+enum class ErrorKind : uint8_t {
+  kTypo,       ///< substitute/insert/delete one character (dirty_gen)
+  kNull,       ///< drop the value (t2[str, zip] in Fig. 1a)
+  kTranspose,  ///< swap two adjacent characters
+  kSwapField,  ///< swap this cell with the next corruptible attribute
+  kHostile,    ///< splice in CSV special bytes: " , CR LF
+};
+
+/// \brief Error-shape knobs.
+struct ErrorModelOptions {
+  /// P(a tuple entering the stream starts an error burst).
+  double tuple_error_rate = 0.25;
+  /// P(the next tuple is also dirty | the current one is) — burstiness.
+  /// 0 makes dirtiness i.i.d. at tuple_error_rate.
+  double burst_continue = 0.0;
+  /// Within a dirty tuple: corrupt a contiguous run of this many
+  /// attributes starting at a random position (correlated cluster).
+  /// 0 falls back to independent per-attribute draws at `cell_rate`.
+  size_t cluster_len = 0;
+  /// Per-attribute corruption probability when cluster_len == 0.
+  double cell_rate = 0.25;
+  /// Kind mix (normalized; must not all be zero).
+  double typo_weight = 0.45;
+  double null_weight = 0.2;
+  double transpose_weight = 0.2;
+  double swap_weight = 0.1;
+  double hostile_weight = 0.05;
+  /// Attributes never corrupted (the trusted set Z, so the certain-fix
+  /// premise "t[Z] is correct" holds for generated scenarios).
+  AttrSet protected_attrs;
+
+  Status Validate() const;
+};
+
+/// \brief Seeded, deterministic corruption engine.
+class ErrorModel {
+ public:
+  /// `typo_source` (optional, must outlive the model) supplies the
+  /// paper's typo/replacement alphabet for ErrorKind::kTypo; without it a
+  /// built-in single-character typo is used.
+  ErrorModel(ErrorModelOptions options, uint64_t seed,
+             DirtyGenerator* typo_source = nullptr);
+
+  /// Corrupts `t` in place (the tuple must be backed by a writable pool,
+  /// e.g. a DirtyGenerator scratch tuple). Returns the corrupted attrs —
+  /// empty when the burst state machine left this tuple clean.
+  AttrSet CorruptTuple(Tuple* t);
+
+  /// One corrupted value; exposed for tests. kSwapField is handled at
+  /// tuple level and falls back to kTranspose here.
+  Value CorruptValue(const Value& v, DataType type, ErrorKind kind);
+
+  /// Whether the burst state machine makes the next tuple dirty.
+  bool NextTupleDirty();
+
+  /// Draws a kind from the configured mix.
+  ErrorKind DrawKind();
+
+ private:
+  AttrSet PickCluster(const Tuple& t);
+
+  ErrorModelOptions options_;
+  Rng rng_;
+  DirtyGenerator* typo_source_;
+  bool in_burst_ = false;
+};
+
+}  // namespace certfix
+
+#endif  // CERTFIX_WORKLOAD_ERROR_MODEL_H_

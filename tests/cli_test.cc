@@ -238,6 +238,68 @@ TEST_F(GoldenTest, RepairDeltasMatchesGoldenOutput) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Workload generator: `workload gen` output is byte-pinned for two seeds
+// under tests/golden/workload/. The specs differ only in seed, so these
+// also pin that the seed — and only the seed — moves the bytes.
+
+TEST_F(GoldenTest, WorkloadGenMatchesGoldenFixtures) {
+  for (const char* name : {"gen-seed1", "gen-seed2"}) {
+    ASSERT_EQ(Run({"workload", "gen", "--spec",
+                   Golden(std::string("workload/") + name + ".toml"),
+                   "--out-dir", dir_, "--prefix", name}),
+              0)
+        << err_.str();
+    EXPECT_NE(out_.str().find("deltas: 30"), std::string::npos)
+        << out_.str();
+    for (const char* suffix : {"_master.csv", "_initial.csv", ".deltas"}) {
+      std::string file = std::string(name) + suffix;
+      EXPECT_EQ(Slurp(dir_ + "/" + file), Slurp(Golden("workload/" + file)))
+          << file;
+    }
+  }
+}
+
+TEST_F(GoldenTest, WorkloadGenIsDeterministicAcrossRuns) {
+  std::string spec = Golden("workload/gen-seed1.toml");
+  ASSERT_EQ(Run({"workload", "gen", "--spec", spec, "--out-dir", dir_,
+                 "--prefix", "run_a"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(Run({"workload", "gen", "--spec", spec, "--out-dir", dir_,
+                 "--prefix", "run_b"}),
+            0)
+      << err_.str();
+  for (const char* suffix : {"_master.csv", "_initial.csv", ".deltas"}) {
+    EXPECT_EQ(Slurp(dir_ + "/run_a" + suffix),
+              Slurp(dir_ + "/run_b" + suffix))
+        << suffix;
+  }
+}
+
+TEST_F(CliTest, WorkloadGenMissingFlagsFail) {
+  EXPECT_EQ(Run({"workload"}), 1);
+  EXPECT_NE(err_.str().find("workload gen"), std::string::npos);
+  EXPECT_EQ(Run({"workload", "frobnicate"}), 1);
+  EXPECT_EQ(Run({"workload", "gen"}), 1);
+  EXPECT_NE(err_.str().find("--spec"), std::string::npos);
+  EXPECT_EQ(Run({"workload", "gen", "--spec", rules_path_}), 1);
+  EXPECT_NE(err_.str().find("--out-dir"), std::string::npos);
+}
+
+TEST_F(CliTest, WorkloadGenRejectsBadSpec) {
+  EXPECT_EQ(Run({"workload", "gen", "--spec", dir_ + "/nope.toml",
+                 "--out-dir", dir_}),
+            2);
+  std::string bad_path = dir_ + "/bad.toml";
+  std::ofstream bad(bad_path);
+  bad << "workload = \"hosp\"\nnot_a_knob = 3\n";
+  bad.close();
+  EXPECT_EQ(Run({"workload", "gen", "--spec", bad_path, "--out-dir", dir_}),
+            2);
+  EXPECT_NE(err_.str().find("not_a_knob"), std::string::npos);
+}
+
 TEST_F(CliTest, RepairDeltasMissingFlagsFail) {
   // --deltas is required.
   EXPECT_EQ(Run({"repair-deltas", "--master", master_path_, "--rules",

@@ -1,0 +1,187 @@
+/// \file delta_log_fuzz_test.cc
+/// \brief Fuzz-style hardening of DeltaLogSource, extending the
+/// csv_fuzz_test machinery to the delta-log layer: seeded truncation and
+/// byte mutation of well-formed I/U/D/MI/MU/MD logs must never crash,
+/// hang, or surface anything but parsed deltas or a clean ParseError
+/// tagged with the record's line; hostile field values must round-trip
+/// through WriteDeltaLog -> DeltaLogSource byte-exactly.
+
+#include "stream/delta_source.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "util/random.h"
+#include "workload/scenario.h"
+
+namespace certfix {
+namespace {
+
+SchemaPtr TestSchema() { return Schema::Make("R", {"a", "b", "c"}); }
+
+/// Drains a DeltaLogSource over `input`. Asserts: progress on every
+/// delta, and either success or a ParseError — never another code, never
+/// a crash or hang.
+void DrainAndCheck(const std::string& input, const std::string& label) {
+  SchemaPtr schema = TestSchema();
+  std::istringstream in(input);
+  DeltaLogSource source(schema, schema, in);
+  Delta delta;
+  size_t max_deltas = input.size() + 2;
+  size_t deltas = 0;
+  for (;;) {
+    Result<bool> got = source.Next(&delta);
+    if (!got.ok()) {
+      EXPECT_EQ(got.status().code(), StatusCode::kParseError) << label;
+      EXPECT_NE(got.status().message().find("line"), std::string::npos)
+          << "error lost its line tag: " << got.status() << " (" << label
+          << ")";
+      break;
+    }
+    if (!*got) break;
+    ++deltas;
+    ASSERT_LE(deltas, max_deltas) << "source loops without progress: "
+                                  << label;
+    for (const std::string& f : delta.fields) {
+      ASSERT_LE(f.size(), input.size()) << label;  // no runaway buffering
+    }
+  }
+}
+
+// Well-formed logs over the 3-attribute schema: every op kind, comments,
+// quoting, CRLF, an embedded newline, and empty fields.
+const char* kCorpus[] = {
+    "# header comment\nI,,1,2,3\nU,0,4,5,6\nD,0\n",
+    "MI,,m1,m2,m3\nMU,0,m4,m5,m6\nMD,0\n",
+    "I,,\"quoted,comma\",\"dq\"\"inside\",plain\nD,0\n",
+    "I,,a,b,c\r\nU,0,\"line\nbreak\",e,f\r\n",
+    "I,,,,\nU,0,,,\n",
+    "# only a comment\n",
+    "I,,1,2,3\nMI,,x,y,z\nMU,0,x,y,z\nU,0,7,8,9\nMD,0\nD,0\n",
+};
+
+TEST(DeltaLogFuzzTest, TruncationsNeverCrash) {
+  for (const char* base : kCorpus) {
+    std::string s(base);
+    for (size_t cut = 0; cut <= s.size(); ++cut) {
+      DrainAndCheck(s.substr(0, cut),
+                    "truncate@" + std::to_string(cut) + " of " + base);
+    }
+  }
+}
+
+TEST(DeltaLogFuzzTest, SeededMutationsNeverCrash) {
+  // The CSV reader's special bytes plus the delta layer's own alphabet:
+  // op letters, digits, and the comment marker.
+  const char kBytes[] = {'"', ',', '\n', '\r', ' ', '\0',
+                         'I', 'U', 'D',  'M',  '#', '9'};
+  Rng rng(31337);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string s(kCorpus[rng.Index(std::size(kCorpus))]);
+    int edits = 1 + static_cast<int>(rng.Index(4));
+    for (int e = 0; e < edits && !s.empty(); ++e) {
+      size_t pos = rng.Index(s.size() + 1);
+      char b = kBytes[rng.Index(std::size(kBytes))];
+      switch (rng.Index(3)) {
+        case 0:  // flip
+          if (pos < s.size()) s[pos] = b;
+          break;
+        case 1:  // insert
+          s.insert(s.begin() + static_cast<std::ptrdiff_t>(pos), b);
+          break;
+        default:  // delete
+          if (pos < s.size()) s.erase(pos, 1);
+          break;
+      }
+    }
+    DrainAndCheck(s, "iter=" + std::to_string(iter));
+  }
+}
+
+TEST(DeltaLogFuzzTest, MalformedRecordsAreCleanParseErrors) {
+  struct Case {
+    const char* log;
+    const char* want;  // substring of the error message
+  };
+  const Case kCases[] = {
+      {"X,,1,2,3\n", "unknown op"},
+      {"I\n", "at least op and row"},
+      {"U,notanum,1,2,3\n", "non-negative row"},
+      {"U,-1,1,2,3\n", "non-negative row"},
+      {"I,,1,2\n", "arity"},
+      {"I,,1,2,3,4\n", "arity"},
+      {"D,0,extra\n", "takes no fields"},
+      {"MD,0,extra\n", "takes no fields"},
+      {"MU,,1,2,3\n", "non-negative row"},
+      {"I,,\"unterminated\n", "unterminated"},
+  };
+  SchemaPtr schema = TestSchema();
+  for (const Case& c : kCases) {
+    std::istringstream in(c.log);
+    DeltaLogSource source(schema, schema, in);
+    Delta delta;
+    Result<bool> got = source.Next(&delta);
+    ASSERT_FALSE(got.ok()) << c.log;
+    EXPECT_EQ(got.status().code(), StatusCode::kParseError) << c.log;
+    EXPECT_NE(got.status().message().find(c.want), std::string::npos)
+        << "want '" << c.want << "' in: " << got.status();
+  }
+}
+
+TEST(DeltaLogFuzzTest, HostileValuesRoundTripThroughTheLog) {
+  // Random deltas whose fields are built from the CSV special alphabet
+  // must survive WriteDeltaLog -> DeltaLogSource exactly: same kinds,
+  // rows, and field bytes.
+  const char kBytes[] = {'"', ',', '\n', '\r', 'x', ' '};
+  Rng rng(90210);
+  SchemaPtr schema = TestSchema();
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<Delta> deltas(1 + rng.Index(8));
+    for (Delta& d : deltas) {
+      switch (rng.Index(6)) {
+        case 0: d.kind = DeltaKind::kInsert; break;
+        case 1: d.kind = DeltaKind::kUpdate; break;
+        case 2: d.kind = DeltaKind::kDelete; break;
+        case 3: d.kind = DeltaKind::kMasterInsert; break;
+        case 4: d.kind = DeltaKind::kMasterUpdate; break;
+        default: d.kind = DeltaKind::kMasterDelete; break;
+      }
+      if (d.kind != DeltaKind::kInsert && d.kind != DeltaKind::kMasterInsert) {
+        d.row = rng.Index(1000);
+      }
+      if (d.kind != DeltaKind::kDelete && d.kind != DeltaKind::kMasterDelete) {
+        d.fields.resize(schema->num_attrs());
+        for (std::string& f : d.fields) {
+          size_t len = rng.Index(8);
+          for (size_t i = 0; i < len; ++i) {
+            f += kBytes[rng.Index(std::size(kBytes))];
+          }
+        }
+      }
+    }
+    std::ostringstream out;
+    ASSERT_TRUE(WriteDeltaLog("fuzz", 1, deltas, out).ok());
+    std::istringstream in(out.str());
+    DeltaLogSource source(schema, schema, in);
+    Delta back;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      Result<bool> got = source.Next(&back);
+      ASSERT_TRUE(got.ok()) << "iter=" << iter << " delta=" << i << ": "
+                            << got.status();
+      ASSERT_TRUE(*got) << "iter=" << iter << " delta=" << i;
+      EXPECT_EQ(back.kind, deltas[i].kind) << "iter=" << iter;
+      EXPECT_EQ(back.row, deltas[i].row) << "iter=" << iter;
+      EXPECT_EQ(back.fields, deltas[i].fields) << "iter=" << iter;
+    }
+    Result<bool> done = source.Next(&back);
+    ASSERT_TRUE(done.ok()) << done.status();
+    EXPECT_FALSE(*done);
+  }
+}
+
+}  // namespace
+}  // namespace certfix

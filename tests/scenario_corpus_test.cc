@@ -1,0 +1,176 @@
+// Scenario-corpus harness: every checked-in spec under tests/scenarios/
+// (CERTFIX_SCENARIO_DIR) is generated, serialized to its delta-log bytes,
+// and replayed through all three engines, which must agree byte-for-byte:
+//
+//  * oracle    — positional replay of the log (ApplyDeltaLog) + BatchRepair
+//                from scratch over the final input against the final master
+//  * delta     — DeltaRepairEngine consuming the log via DeltaLogSource,
+//                at 1, 2, and 8 shards
+//  * stream    — StreamRepairEngine over the final input rows (point-of-
+//                entry repair of the surviving tuples), at 1, 2, and 8
+//                shards, against the final master
+//
+// Seed shifting: CERTFIX_PROPERTY_SEED offsets every scenario's seed, and
+// each --gtest_repeat iteration shifts it again, so CI soak runs cover
+// fresh scenarios per repetition while any failure reproduces from the
+// printed seed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "core/batch_repair.h"
+#include "incremental/delta_repair.h"
+#include "relational/csv.h"
+#include "stream/sink.h"
+#include "stream/stream_repair.h"
+#include "workload/scenario.h"
+
+namespace certfix {
+namespace {
+
+uint64_t SeedShift() {
+  static uint64_t base = [] {
+    const char* env = std::getenv("CERTFIX_PROPERTY_SEED");
+    return env != nullptr ? std::strtoull(env, nullptr, 10) : 0ULL;
+  }();
+  // Each fixture-set construction (one per --gtest_repeat iteration)
+  // advances the shift, so soak repetitions explore fresh seeds.
+  static uint64_t iteration = 0;
+  return base + 1009 * iteration++;
+}
+
+std::vector<std::string> CorpusSpecs() {
+  std::vector<std::string> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(CERTFIX_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".toml") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::string CsvBytes(const Relation& rel) {
+  std::ostringstream out;
+  Status st = WriteCsv(rel, out);
+  EXPECT_TRUE(st.ok()) << st;
+  return out.str();
+}
+
+class ScenarioCorpusTest : public ::testing::TestWithParam<std::string> {};
+
+std::string ParamName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return stem;
+}
+
+TEST_P(ScenarioCorpusTest, EnginesAgreeByteForByte) {
+  Result<ScenarioSpec> loaded = LoadScenarioSpecFile(GetParam());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ScenarioSpec spec = std::move(loaded).ValueOrDie();
+  const uint64_t shift = SeedShift();
+  spec.seed += shift;
+  SCOPED_TRACE("scenario " + spec.name + " seed " +
+               std::to_string(spec.seed) + " (shift " +
+               std::to_string(shift) + ")");
+
+  Result<Scenario> sc = GenerateScenario(spec);
+  ASSERT_TRUE(sc.ok()) << sc.status();
+  const std::string log = DeltaLogToString(*sc);
+
+  // Oracle: positional replay of the log bytes, then from-scratch batch
+  // repair of the final input against the final master.
+  std::vector<std::vector<std::string>> input_rows = RenderRows(sc->initial);
+  std::vector<std::vector<std::string>> master_rows = RenderRows(sc->master);
+  Status replayed = ApplyDeltaLog(sc->deltas, &input_rows, &master_rows);
+  ASSERT_TRUE(replayed.ok()) << replayed;
+  Result<Relation> final_input = RelationFromRows(sc->schema, input_rows);
+  Result<Relation> final_master = RelationFromRows(sc->schema, master_rows);
+  ASSERT_TRUE(final_input.ok()) << final_input.status();
+  ASSERT_TRUE(final_master.ok()) << final_master.status();
+
+  MasterIndex oracle_index(sc->rules, *final_master);
+  Saturator oracle_sat(sc->rules, *final_master, oracle_index);
+  BatchRepair oracle(oracle_sat);
+  Result<BatchRepairResult> oracle_result =
+      oracle.RepairChecked(*final_input, sc->trusted);
+  ASSERT_TRUE(oracle_result.ok()) << oracle_result.status();
+  const std::string want = CsvBytes(oracle_result->repaired);
+
+  for (size_t shards : {1u, 2u, 8u}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+
+    // Delta engine: consume the serialized log bytes via DeltaLogSource.
+    {
+      DeltaRepairOptions options;
+      options.num_shards = shards;
+      DeltaRepairEngine engine(sc->rules, sc->master, sc->trusted, options);
+      ASSERT_TRUE(engine.precheck_status().ok()) << engine.precheck_status();
+      ASSERT_TRUE(engine.Load(sc->initial).ok());
+      std::istringstream in(log);
+      DeltaLogSource source(sc->schema, sc->schema, in);
+      Status st = engine.ApplyAll(&source);
+      ASSERT_TRUE(st.ok()) << st;
+      EXPECT_EQ(CsvBytes(engine.SnapshotInput()), CsvBytes(*final_input));
+      EXPECT_EQ(CsvBytes(engine.SnapshotRepaired()), want);
+    }
+
+    // Stream engine: point-of-entry repair of the final input rows.
+    {
+      StreamOptions options;
+      options.num_shards = shards;
+      std::ostringstream out;
+      CsvStreamSink sink(sc->schema, out);
+      StreamRepairEngine engine(oracle_sat, sc->trusted, &sink, options);
+      ASSERT_TRUE(engine.precheck_status().ok()) << engine.precheck_status();
+      for (const auto& fields : input_rows) {
+        Status st = engine.PushStrings(fields);
+        ASSERT_TRUE(st.ok()) << st;
+      }
+      StreamSnapshot snapshot = engine.Finish();
+      EXPECT_EQ(snapshot.tuples_out, input_rows.size());
+      EXPECT_EQ(out.str(), want);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ScenarioCorpusTest,
+                         ::testing::ValuesIn(CorpusSpecs()), ParamName);
+
+// The corpus must stay broad enough to mean something: at least 6 specs,
+// covering skewed popularity, bursty arrival, correlated error clusters,
+// and master-delta interleave.
+TEST(ScenarioCorpusShape, CorpusCoversTheAdversarialAxes) {
+  std::vector<std::string> paths = CorpusSpecs();
+  ASSERT_GE(paths.size(), 6u);
+  bool zipf = false, burst = false, clusters = false, master_mix = false,
+       second_workload = false;
+  for (const std::string& path : paths) {
+    Result<ScenarioSpec> spec = LoadScenarioSpecFile(path);
+    ASSERT_TRUE(spec.ok()) << path << ": " << spec.status();
+    if (spec->popularity.kind == PopularityKind::kZipf) zipf = true;
+    if (spec->arrival.kind == ArrivalKind::kBursty) burst = true;
+    if (spec->errors.cluster_len > 0 && spec->errors.burst_continue > 0) {
+      clusters = true;
+    }
+    if (spec->arrival.master_ratio > 0) master_mix = true;
+    if (spec->workload == "dblp") second_workload = true;
+  }
+  EXPECT_TRUE(zipf) << "no zipf-skew scenario in the corpus";
+  EXPECT_TRUE(burst) << "no bursty-arrival scenario in the corpus";
+  EXPECT_TRUE(clusters) << "no correlated-error-cluster scenario";
+  EXPECT_TRUE(master_mix) << "no master-delta interleave scenario";
+  EXPECT_TRUE(second_workload) << "corpus only exercises one workload";
+}
+
+}  // namespace
+}  // namespace certfix
