@@ -19,6 +19,7 @@ std::vector<Violation> DetectViolations(const CfdSet& cfds,
     }
     // Variable CFD: group tp[X]-matching tuples by t[X]; within a group,
     // report every tuple that disagrees with the group representative.
+    // contract-lint: allow(idkey-map) one-shot grouping per detect call
     std::unordered_map<IdKey, std::vector<size_t>, IdKeyHash> groups;
     IdKey key(cfd.lhs().size());
     for (size_t i = 0; i < rel.size(); ++i) {

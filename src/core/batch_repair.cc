@@ -1,10 +1,20 @@
 #include "core/batch_repair.h"
 
+#include <memory>
+
 #include "analysis/analyzer.h"
+#include "core/repair_memo.h"
 #include "core/repair_tuple.h"
 #include "util/thread_pool.h"
 
 namespace certfix {
+
+namespace {
+/// Rows staged per probe block: enough independent probes in flight to
+/// cover DRAM latency, small enough to stay within L1 and the prefetch
+/// queues.
+constexpr size_t kProbeBlock = 32;
+}  // namespace
 
 void BatchRepair::RepairRange(const Relation& data, AttrSet trusted,
                               AttrSet all, size_t begin, size_t end,
@@ -15,29 +25,55 @@ void BatchRepair::RepairRange(const Relation& data, AttrSet trusted,
   // each distinct value is hashed into master-pool id space once.
   const PoolPtr& probe_pool = local_pool != nullptr ? local_pool : data.pool();
   PoolBridge bridge(probe_pool.get(), sat_->index().pool().get());
-  for (size_t i = begin; i < end; ++i) {
-    Tuple row = local_pool != nullptr ? data.at(i).RebasedTo(local_pool)
-                                      : data.at(i);
-    TupleRepair r = RepairOneTuple(*sat_, row, trusted, all, &bridge);
-    switch (r.report.kind) {
-      case FixClass::kConflicting:
-        ++out->conflicting;
-        out->conflict_rows.push_back(i);
-        continue;
-      case FixClass::kFullyCovered:
-        ++out->fully_covered;
-        break;
-      case FixClass::kPartial:
-        ++out->partial;
-        break;
-      case FixClass::kUntouched:
-        ++out->untouched;
-        break;
+  std::unique_ptr<RepairMemo> memo;
+  if (options_.use_memo) {
+    memo = std::make_unique<RepairMemo>(sat_->rules(), trusted);
+  }
+  const std::vector<size_t> first_round = sat_->FirstRoundProbeRules(trusted);
+  std::vector<Tuple> rows;
+  rows.reserve(kProbeBlock);
+  for (size_t base = begin; base < end; base += kProbeBlock) {
+    const size_t n = std::min(kProbeBlock, end - base);
+    rows.clear();
+    // Stage: materialize the block's rows and push their memo buckets and
+    // round-1 value-summary buckets into the cache...
+    for (size_t j = 0; j < n; ++j) {
+      Tuple row = local_pool != nullptr
+                      ? data.at(base + j).RebasedTo(local_pool)
+                      : data.at(base + j);
+      if (memo != nullptr) memo->Prefetch(row);
+      sat_->index().PrefetchRhsProbes(row, first_round, &bridge);
+      rows.push_back(std::move(row));
     }
-    out->cells_changed += r.report.cells_changed;
-    if (r.report.cells_changed > 0) {
-      out->changed.emplace_back(i, std::move(r.fixed));
+    // ...then resolve: repair in row order while the lines are in flight.
+    for (size_t j = 0; j < n; ++j) {
+      const size_t i = base + j;
+      TupleRepair r = RepairOneTuple(*sat_, rows[j], trusted, all, &bridge,
+                                     nullptr, memo.get());
+      switch (r.report.kind) {
+        case FixClass::kConflicting:
+          ++out->conflicting;
+          out->conflict_rows.push_back(i);
+          continue;
+        case FixClass::kFullyCovered:
+          ++out->fully_covered;
+          break;
+        case FixClass::kPartial:
+          ++out->partial;
+          break;
+        case FixClass::kUntouched:
+          ++out->untouched;
+          break;
+      }
+      out->cells_changed += r.report.cells_changed;
+      if (r.report.cells_changed > 0) {
+        out->changed.emplace_back(i, std::move(r.fixed));
+      }
     }
+  }
+  if (memo != nullptr) {
+    out->memo_hits = memo->hits();
+    out->memo_misses = memo->misses();
   }
 }
 
@@ -75,6 +111,8 @@ BatchRepairResult BatchRepair::Repair(const Relation& data,
     result.tuples_untouched += s.untouched;
     result.tuples_conflicting += s.conflicting;
     result.cells_changed += s.cells_changed;
+    result.memo_hits += s.memo_hits;
+    result.memo_misses += s.memo_misses;
     result.conflict_rows.insert(result.conflict_rows.end(),
                                 s.conflict_rows.begin(),
                                 s.conflict_rows.end());

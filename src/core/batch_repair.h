@@ -51,6 +51,10 @@ struct RepairOptions {
   /// (Sigma, Dm, Z) as-is, warn logs analyzer diagnostics, strict refuses
   /// inconsistent rulesets with the witness in the error (analyzer.h).
   AnalyzeMode analyze_first = AnalyzeMode::kOff;
+  /// Replay repair outcomes for repeated relevant projections via a
+  /// per-shard RepairMemo (core/repair_memo.h). Output-invisible — the
+  /// differential suites A/B it off via --no-memo.
+  bool use_memo = true;
 };
 
 /// \brief Outcome of repairing one relation.
@@ -61,6 +65,8 @@ struct BatchRepairResult {
   size_t tuples_untouched = 0;      ///< nothing beyond Z derivable
   size_t tuples_conflicting = 0;    ///< unique-fix check failed
   size_t cells_changed = 0;
+  size_t memo_hits = 0;    ///< repairs replayed from a shard memo
+  size_t memo_misses = 0;  ///< repairs computed (and memoized)
   /// Row positions with conflicts (left unmodified), ascending.
   std::vector<size_t> conflict_rows;
 };
@@ -93,6 +99,8 @@ class BatchRepair {
     size_t untouched = 0;
     size_t conflicting = 0;
     size_t cells_changed = 0;
+    size_t memo_hits = 0;
+    size_t memo_misses = 0;
     std::vector<size_t> conflict_rows;
     /// Rows whose fix differs from the input, in row order.
     std::vector<std::pair<size_t, Tuple>> changed;

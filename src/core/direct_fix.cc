@@ -95,6 +95,7 @@ Result<bool> DirectFixChecker::IsConsistent(
         }
         return key;
       };
+      // contract-lint: allow(idkey-map) per-pair hash join, built once
       std::unordered_map<IdKey, std::vector<size_t>, IdKeyHash> bucket;
       for (size_t row : q[i]) {
         bucket[row_key(row, m1)].push_back(row);

@@ -1,37 +1,83 @@
 #include "core/master_index.h"
 
+#include <memory>
+#include <unordered_set>
+
 namespace certfix {
 
 const MasterIndex::RhsSummary MasterIndex::kEmptySummary;
 
 namespace {
 
-void AddDistinct(MasterIndex::RhsSummary* summary, const Value& v, ValueId id,
-                 size_t row) {
-  for (const MasterIndex::RhsValue& existing : *summary) {
-    if (existing.id == id) return;
+/// Dedups (value-id, row) pairs into a summary. Summaries are almost
+/// always tiny (1 distinct Bm value per key in consistent master data),
+/// so membership starts as a linear scan over the summary itself and
+/// upgrades to a hash set only past kLinearMax — high-cardinality Bm
+/// columns (e.g. an all-rows summary over a unique column) would
+/// otherwise make index build quadratic.
+class DistinctAdder {
+ public:
+  void Add(MasterIndex::RhsSummary* summary, const Value& v, ValueId id,
+           size_t row) {
+    if (seen_ == nullptr) {
+      for (const MasterIndex::RhsValue& existing : *summary) {
+        if (existing.id == id) return;
+      }
+      summary->push_back(MasterIndex::RhsValue{v, id, row});
+      if (summary->size() > kLinearMax) {
+        seen_ = std::make_unique<std::unordered_set<ValueId>>();
+        for (const MasterIndex::RhsValue& existing : *summary) {
+          seen_->insert(existing.id);
+        }
+      }
+      return;
+    }
+    if (seen_->insert(id).second) {
+      summary->push_back(MasterIndex::RhsValue{v, id, row});
+    }
   }
-  summary->push_back(MasterIndex::RhsValue{v, id, row});
-}
+
+ private:
+  static constexpr size_t kLinearMax = 16;
+  std::unique_ptr<std::unordered_set<ValueId>> seen_;
+};
 
 }  // namespace
 
 std::shared_ptr<MasterIndex::ValueIndex> MasterIndex::BuildValueIndex(
-    const Relation& dm, const std::vector<AttrId>& xm, AttrId bm) {
+    const Relation& dm, const std::vector<AttrId>& xm, AttrId bm,
+    IndexKind kind) {
   auto vi = std::make_shared<ValueIndex>();
   const std::vector<ValueId>& bm_col = dm.Column(bm);
   std::vector<const std::vector<ValueId>*> key_cols;
   key_cols.reserve(xm.size());
   for (AttrId a : xm) key_cols.push_back(&dm.Column(a));
   IdKey key(xm.size());
+  DistinctAdder all_rows_adder;
+  std::vector<DistinctAdder> adders;  // flat path, parallel to summaries
+  if (kind == IndexKind::kFlat && !xm.empty()) {
+    vi->table.Reset(xm.size(), dm.size());
+  }
+  std::unordered_map<IdKey, DistinctAdder, IdKeyHash>
+      map_adders;  // contract-lint: allow(idkey-map) kMap build-side dedup
   for (size_t row = 0; row < dm.size(); ++row) {
     ValueId vid = bm_col[row];
     const Value& v = dm.pool()->value(vid);
     if (xm.empty()) {
-      AddDistinct(&vi->all_rows_summary, v, vid, row);
+      all_rows_adder.Add(&vi->all_rows_summary, v, vid, row);
+      continue;
+    }
+    for (size_t k = 0; k < key_cols.size(); ++k) key[k] = (*key_cols[k])[row];
+    if (kind == IndexKind::kFlat) {
+      const uint32_t fresh = static_cast<uint32_t>(vi->summaries.size());
+      const uint32_t slot = vi->table.InsertOrGet(key.data(), fresh);
+      if (slot == fresh) {
+        vi->summaries.emplace_back();
+        adders.emplace_back();
+      }
+      adders[slot].Add(&vi->summaries[slot], v, vid, row);
     } else {
-      for (size_t k = 0; k < key_cols.size(); ++k) key[k] = (*key_cols[k])[row];
-      AddDistinct(&vi->map[key], v, vid, row);
+      map_adders[key].Add(&vi->map[key], v, vid, row);
     }
   }
   return vi;
@@ -50,17 +96,30 @@ void MasterIndex::Build(const RuleSet& rules, const MasterIndex* share) {
     } else {
       auto it = key_ids_.find(rule.lhsm());
       if (it == key_ids_.end()) {
+        const size_t count = kind_ == IndexKind::kFlat ? flat_indexes_.size()
+                                                       : indexes_.size();
         int id = -1;
         if (share != nullptr) {
           auto sit = share->key_ids_.find(rule.lhsm());
           if (sit != share->key_ids_.end()) {
-            id = static_cast<int>(indexes_.size());
-            indexes_.push_back(share->indexes_[static_cast<size_t>(sit->second)]);
+            id = static_cast<int>(count);
+            if (kind_ == IndexKind::kFlat) {
+              flat_indexes_.push_back(
+                  share->flat_indexes_[static_cast<size_t>(sit->second)]);
+            } else {
+              indexes_.push_back(
+                  share->indexes_[static_cast<size_t>(sit->second)]);
+            }
           }
         }
         if (id < 0) {
-          id = static_cast<int>(indexes_.size());
-          indexes_.push_back(std::make_shared<KeyIndex>(*dm_, rule.lhsm()));
+          id = static_cast<int>(count);
+          if (kind_ == IndexKind::kFlat) {
+            flat_indexes_.push_back(
+                std::make_shared<FlatKeyIndex>(*dm_, rule.lhsm()));
+          } else {
+            indexes_.push_back(std::make_shared<KeyIndex>(*dm_, rule.lhsm()));
+          }
         }
         it = key_ids_.emplace(rule.lhsm(), id).first;
       }
@@ -83,7 +142,7 @@ void MasterIndex::Build(const RuleSet& rules, const MasterIndex* share) {
       if (id < 0) {
         id = static_cast<int>(value_indexes_.size());
         value_indexes_.push_back(
-            BuildValueIndex(*dm_, rule.lhsm(), rule.rhsm()));
+            BuildValueIndex(*dm_, rule.lhsm(), rule.rhsm(), kind_));
       }
       vit = value_ids_.emplace(std::move(vkey), id).first;
     }
@@ -99,24 +158,28 @@ void MasterIndex::Build(const RuleSet& rules, const MasterIndex* share) {
   }
 }
 
-MasterIndex::MasterIndex(const RuleSet& rules, const Relation& dm)
-    : dm_(&dm) {
+MasterIndex::MasterIndex(const RuleSet& rules, const Relation& dm,
+                         IndexKind kind)
+    : dm_(&dm), kind_(kind) {
   Build(rules, nullptr);
 }
 
 MasterIndex::MasterIndex(const RuleSet& rules, const Relation& dm,
                          const MasterIndex& share_from)
-    : dm_(&dm) {
+    : dm_(&dm), kind_(share_from.kind_) {
   Build(rules, &share_from);
 }
 
-const std::vector<size_t>& MasterIndex::Candidates(size_t rule_idx,
-                                                   const Tuple& t,
-                                                   PoolBridge* bridge) const {
+RowSpan MasterIndex::Candidates(size_t rule_idx, const Tuple& t,
+                                PoolBridge* bridge) const {
   int idx = rule_to_index_[rule_idx];
-  if (idx < 0) return all_rows_;
-  return indexes_[static_cast<size_t>(idx)]->LookupTuple(t, probe_[rule_idx],
-                                                         bridge);
+  if (idx < 0) return RowSpan(all_rows_);
+  if (kind_ == IndexKind::kFlat) {
+    return flat_indexes_[static_cast<size_t>(idx)]->LookupTuple(
+        t, probe_[rule_idx], bridge);
+  }
+  return RowSpan(indexes_[static_cast<size_t>(idx)]->LookupTuple(
+      t, probe_[rule_idx], bridge));
 }
 
 const MasterIndex::RhsSummary& MasterIndex::RhsValues(
@@ -128,8 +191,28 @@ const MasterIndex::RhsSummary& MasterIndex::RhsValues(
   if (!ProjectIds(t, probe_[rule_idx], dm_->pool().get(), bridge, &key)) {
     return kEmptySummary;
   }
+  if (kind_ == IndexKind::kFlat) {
+    const uint32_t slot = vi.table.Find(key.data());
+    return slot == FlatIdTable::kNotFound ? kEmptySummary : vi.summaries[slot];
+  }
   auto it = vi.map.find(key);
   return it == vi.map.end() ? kEmptySummary : it->second;
+}
+
+void MasterIndex::PrefetchRhsProbes(const Tuple& t,
+                                    const std::vector<size_t>& rule_idxs,
+                                    PoolBridge* bridge) const {
+  if (kind_ != IndexKind::kFlat) return;
+  thread_local IdKey key;
+  for (size_t rule_idx : rule_idxs) {
+    if (probe_[rule_idx].empty()) continue;
+    const ValueIndex& vi =
+        *value_indexes_[static_cast<size_t>(rule_to_value_[rule_idx])];
+    if (!ProjectIds(t, probe_[rule_idx], dm_->pool().get(), bridge, &key)) {
+      continue;
+    }
+    vi.table.Prefetch(vi.table.Hash(key.data()));
+  }
 }
 
 }  // namespace certfix

@@ -1,17 +1,36 @@
 #include "core/repair_tuple.h"
 
+#include "core/repair_memo.h"
+
 namespace certfix {
 
 TupleRepair RepairOneTuple(const Saturator& sat, const Tuple& row,
                            AttrSet trusted, AttrSet all,
-                           PoolBridge* bridge, ProbeLog* probes) {
-  SaturationResult fix = sat.CheckUniqueFix(row, trusted, bridge, probes);
+                           PoolBridge* bridge, ProbeLog* probes,
+                           RepairMemo* memo) {
+  if (memo != nullptr) {
+    if (const RepairMemo::Entry* entry = memo->Find(row)) {
+      if (probes != nullptr) {
+        probes->hashes.insert(probes->hashes.end(), entry->probes.begin(),
+                              entry->probes.end());
+      }
+      return memo->Replay(*entry, row);
+    }
+  }
+  // A memoized repair must carry its probe set even when the caller
+  // doesn't track probes, so invalidation by probe hash stays possible.
+  ProbeLog local_probes;
+  ProbeLog* plog = probes;
+  if (plog == nullptr && memo != nullptr) plog = &local_probes;
+
+  SaturationResult fix = sat.CheckUniqueFix(row, trusted, bridge, plog);
   TupleRepair out;
   if (!fix.unique) {
     // No copy of the input here: a conflicting tuple is left unchanged,
     // and every caller still holds `row`.
     out.report.kind = FixClass::kConflicting;
     out.report.covered = trusted;
+    if (memo != nullptr) memo->Insert(row, out, plog);
     return out;
   }
   out.report.cells_changed = row.DiffCount(fix.fixed);
@@ -24,6 +43,7 @@ TupleRepair RepairOneTuple(const Saturator& sat, const Tuple& row,
     out.report.kind = FixClass::kUntouched;
   }
   out.fixed = std::move(fix.fixed);
+  if (memo != nullptr) memo->Insert(row, out, plog);
   return out;
 }
 

@@ -24,6 +24,8 @@
 
 namespace certfix {
 
+class RepairMemo;
+
 /// How one tuple fared under repair (the four BatchRepair counters).
 enum class FixClass {
   kFullyCovered,  ///< certain fix reached (covered = R)
@@ -58,11 +60,17 @@ struct TupleRepair {
 /// reused across many rows of the same pool. `probes`, when given, records
 /// the repair's master-index dependency set (fix_state.h) — the incremental
 /// engine re-repairs a tuple only when a master delta hits one of its
-/// recorded probes.
+/// recorded probes. `memo`, when given, short-circuits the whole check
+/// for a previously seen relevant projection (core/repair_memo.h): on a
+/// hit the recorded outcome is replayed and the entry's probe hashes are
+/// appended to `probes`; on a miss the fresh outcome is memoized. The
+/// memo must be keyed on `row`'s pool (one memo per shard pool
+/// generation) and have been built with the same `trusted` set.
 TupleRepair RepairOneTuple(const Saturator& sat, const Tuple& row,
                            AttrSet trusted, AttrSet all,
                            PoolBridge* bridge = nullptr,
-                           ProbeLog* probes = nullptr);
+                           ProbeLog* probes = nullptr,
+                           RepairMemo* memo = nullptr);
 
 }  // namespace certfix
 

@@ -15,6 +15,18 @@ const std::set<Value>& Saturator::Dom() const {
   return *dom_cache_;
 }
 
+std::vector<size_t> Saturator::FirstRoundProbeRules(AttrSet z0) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rules_->size(); ++i) {
+    const EditingRule& rule = rules_->at(i);
+    if (z0.Contains(rule.rhs())) continue;
+    if (!rule.premise_set().SubsetOf(z0)) continue;
+    if (rule.lhs().empty()) continue;  // probes the all-rows summary
+    out.push_back(i);
+  }
+  return out;
+}
+
 std::string FixConflict::ToString(const SchemaPtr& schema) const {
   std::string name = schema ? schema->attr_name(attr) : std::to_string(attr);
   return "conflict on " + name + ": '" + value_a.ToString() + "' (rule #" +

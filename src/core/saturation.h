@@ -100,6 +100,12 @@ class Saturator {
   const Relation& master() const { return *dm_; }
   const MasterIndex& index() const { return *index_; }
 
+  /// Rules whose premises `z0` already validates (and with a non-empty
+  /// lhs): exactly the rules round 1 of every saturation from `z0`
+  /// probes the master for. Engines hand this list to
+  /// MasterIndex::PrefetchRhsProbes when staging a block of tuples.
+  std::vector<size_t> FirstRoundProbeRules(AttrSet z0) const;
+
   /// Active domain of (Sigma, Dm), computed once and cached. A hint set
   /// via SetDomHint (e.g. by Suggest, which creates short-lived saturators
   /// over refined rule sets) takes precedence; any superset of the true

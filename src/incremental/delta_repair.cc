@@ -3,9 +3,17 @@
 #include <algorithm>
 
 #include "analysis/analyzer.h"
+#include "core/repair_memo.h"
 #include "util/thread_pool.h"
 
 namespace certfix {
+
+namespace {
+/// Jobs staged per probe block (see batch_repair.cc): one PopBatch hands
+/// a worker up to this many tuples whose memo and master-index buckets
+/// are prefetched together before any repair runs.
+constexpr size_t kProbeBlock = 32;
+}  // namespace
 
 DeltaRepairEngine::DeltaRepairEngine(const RuleSet& rules,
                                      const Relation& master, AttrSet trusted,
@@ -26,7 +34,7 @@ DeltaRepairEngine::DeltaRepairEngine(const RuleSet& rules,
   // for that.
   master_.Reserve(master.size());
   for (size_t i = 0; i < master.size(); ++i) master_.Append(master.at(i));
-  index_ = std::make_unique<MasterIndex>(*rules_, master_);
+  index_ = std::make_unique<MasterIndex>(*rules_, master_, options_.index_kind);
   sat_ = std::make_unique<Saturator>(*rules_, master_, *index_);
 
   // The analyze_first gate runs before any worker exists: a strict
@@ -124,6 +132,7 @@ Status DeltaRepairEngine::EnqueueRepair(uint32_t slot) {
   job.slot = slot;
   job.epoch = sat_epoch_;
   job.sat = sat_.get();
+  job.flush = memo_flush_head_;
   job.values.reserve(schema_->num_attrs());
   for (size_t a = 0; a < schema_->num_attrs(); ++a) {
     job.values.push_back(input_.Cell(slot, static_cast<AttrId>(a)));
@@ -143,26 +152,69 @@ Status DeltaRepairEngine::EnqueueRepair(uint32_t slot) {
   return Status::OK();
 }
 
+void DeltaRepairEngine::ApplyMemoFlush(RepairMemo* memo,
+                                       const MemoFlush* head,
+                                       uint64_t last_epoch) {
+  if (memo->entries() == 0) return;  // nothing cached, nothing stale
+  // Collect the nodes published since this repair context last ran. The
+  // chain is newest-first; epochs are consecutive, so completeness means
+  // the oldest collected node is exactly last_epoch + 1.
+  std::vector<const MemoFlush*> nodes;
+  for (const MemoFlush* n = head; n != nullptr && n->epoch > last_epoch;
+       n = n->prev.get()) {
+    nodes.push_back(n);
+  }
+  if (nodes.empty() || nodes.back()->epoch != last_epoch + 1) {
+    // The depth cap cut the chain before it reached us: some invalidation
+    // is unrecoverable, so drop everything rather than risk a stale hit.
+    memo->Clear();
+    return;
+  }
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    memo->FlushProbes((*it)->hashes);
+  }
+}
+
 void DeltaRepairEngine::RepairInline(const Job& job) {
-  if (local_epoch_ != job.epoch || local_pool_ == nullptr ||
-      local_pool_->size() > options_.pool_recycle_values) {
+  if (options_.use_memo && local_memo_ == nullptr) {
+    local_memo_ = std::make_unique<RepairMemo>(*rules_, trusted_);
+  }
+  if (local_pool_ == nullptr) local_pool_ = std::make_shared<ValuePool>();
+  if (local_epoch_ != job.epoch || local_bridge_ == nullptr) {
+    // Master rebuilt: the pool (and the memo keyed on its ids) survive;
+    // only the bridge cache and the flushed memo entries go. The caller
+    // thread runs this, so reading memo_flush_head_ directly is safe.
+    local_bridge_ = std::make_unique<PoolBridge>(
+        local_pool_.get(), job.sat->index().pool().get());
+    if (local_memo_ != nullptr) {
+      ApplyMemoFlush(local_memo_.get(), memo_flush_head_.get(), local_epoch_);
+    }
+    local_epoch_ = job.epoch;
+  }
+  if (local_pool_->size() > options_.pool_recycle_values) {
     local_pool_ = std::make_shared<ValuePool>();
     local_bridge_ = std::make_unique<PoolBridge>(
         local_pool_.get(), job.sat->index().pool().get());
-    local_epoch_ = job.epoch;
+    if (local_memo_ != nullptr) local_memo_->Clear();
   }
   Tuple row(schema_, local_pool_);
   for (size_t a = 0; a < job.values.size(); ++a) {
     row.Set(static_cast<AttrId>(a), job.values[a]);
   }
   ProbeLog probes;
+  const uint64_t hits_before =
+      local_memo_ != nullptr ? local_memo_->hits() : 0;
   TupleRepair r = RepairOneTuple(*job.sat, row, trusted_, all_,
-                                 local_bridge_.get(), &probes);
+                                 local_bridge_.get(), &probes,
+                                 local_memo_.get());
   Done done;
   done.seq = job.seq;
   done.slot = job.slot;
   done.report = r.report;
   done.probes = std::move(probes.hashes);
+  if (local_memo_ != nullptr) {
+    done.memo = local_memo_->hits() > hits_before ? 1 : 0;
+  }
   const Tuple& emit = r.report.conflicting() ? row : r.fixed;
   done.fixed.reserve(schema_->num_attrs());
   for (size_t a = 0; a < schema_->num_attrs(); ++a) {
@@ -177,38 +229,80 @@ void DeltaRepairEngine::WorkerLoop(size_t shard) {
   try {
     PoolPtr pool = std::make_shared<ValuePool>();
     std::unique_ptr<PoolBridge> bridge;
+    std::unique_ptr<RepairMemo> memo;
+    if (options_.use_memo) {
+      memo = std::make_unique<RepairMemo>(*rules_, trusted_);
+    }
     uint64_t epoch = ~0ULL;
-    Job job;
-    while (queues_[shard]->Pop(&job)) {
-      if (epoch != job.epoch || bridge == nullptr ||
-          pool->size() > options_.pool_recycle_values) {
+    std::vector<size_t> first_round;
+    std::vector<Job> batch;
+    std::vector<Tuple> rows;
+    batch.reserve(kProbeBlock);
+    rows.reserve(kProbeBlock);
+    while (queues_[shard]->PopBatch(&batch, kProbeBlock) > 0) {
+      // Master deltas drain the pipeline before the epoch advances, so a
+      // ring never holds jobs of two epochs at once — one check covers
+      // the whole batch.
+      const Saturator& sat = *batch.front().sat;
+      if (epoch != batch.front().epoch || bridge == nullptr) {
         // New epoch = the master (and its pool) changed under a rebuild
-        // barrier; the ring's mutex published the new saturator.
+        // barrier; the ring's mutex published the new saturator. The
+        // shard pool (and the memo keyed on its ids) survive — only the
+        // bridge cache and the flushed memo entries go.
+        bridge = std::make_unique<PoolBridge>(pool.get(),
+                                              sat.index().pool().get());
+        if (memo != nullptr) {
+          ApplyMemoFlush(memo.get(), batch.front().flush.get(), epoch);
+        }
+        epoch = batch.front().epoch;
+        first_round = sat.FirstRoundProbeRules(trusted_);
+      }
+      // The recycle check runs once per batch, before any row is built:
+      // a mid-batch reset would mix pools within one staged block.
+      if (pool->size() > options_.pool_recycle_values) {
         pool = std::make_shared<ValuePool>();
         bridge = std::make_unique<PoolBridge>(pool.get(),
-                                              job.sat->index().pool().get());
-        epoch = job.epoch;
+                                              sat.index().pool().get());
+        if (memo != nullptr) memo->Clear();
       }
-      Tuple row(schema_, pool);
-      for (size_t a = 0; a < job.values.size(); ++a) {
-        row.Set(static_cast<AttrId>(a), std::move(job.values[a]));
+      // Stage: materialize the batch's rows, prefetching each row's memo
+      // bucket and round-1 value-summary buckets...
+      for (Job& job : batch) {
+        Tuple row(schema_, pool);
+        for (size_t a = 0; a < job.values.size(); ++a) {
+          row.Set(static_cast<AttrId>(a), std::move(job.values[a]));
+        }
+        if (memo != nullptr) memo->Prefetch(row);
+        sat.index().PrefetchRhsProbes(row, first_round, bridge.get());
+        rows.push_back(std::move(row));
       }
-      ProbeLog probes;
-      TupleRepair r =
-          RepairOneTuple(*job.sat, row, trusted_, all_, bridge.get(), &probes);
-      Done done;
-      done.seq = job.seq;
-      done.slot = job.slot;
-      done.report = r.report;
-      done.probes = std::move(probes.hashes);
-      // Results cross the merge boundary as owned Values (conflicting rows
-      // re-emit their input), exactly like the stream engine's records.
-      const Tuple& emit = r.report.conflicting() ? row : r.fixed;
-      done.fixed.reserve(schema_->num_attrs());
-      for (size_t a = 0; a < schema_->num_attrs(); ++a) {
-        done.fixed.push_back(emit.at(static_cast<AttrId>(a)));
+      // ...then resolve: repair in seq order while lines are in flight.
+      for (size_t j = 0; j < rows.size(); ++j) {
+        const Tuple& row = rows[j];
+        ProbeLog probes;
+        const uint64_t hits_before = memo != nullptr ? memo->hits() : 0;
+        TupleRepair r = RepairOneTuple(sat, row, trusted_, all_,
+                                       bridge.get(), &probes, memo.get());
+        Done done;
+        done.seq = batch[j].seq;
+        done.slot = batch[j].slot;
+        done.report = r.report;
+        done.probes = std::move(probes.hashes);
+        if (memo != nullptr) {
+          done.memo = memo->hits() > hits_before ? 1 : 0;
+        }
+        // Results cross the merge boundary as owned Values (conflicting
+        // rows re-emit their input), exactly like the stream engine's
+        // records.
+        const Tuple& emit = r.report.conflicting() ? row : r.fixed;
+        done.fixed.reserve(schema_->num_attrs());
+        for (size_t a = 0; a < schema_->num_attrs(); ++a) {
+          done.fixed.push_back(emit.at(static_cast<AttrId>(a)));
+        }
+        ApplyOrdered(std::move(done));
       }
-      ApplyOrdered(std::move(done));
+      batch.clear();
+      rows.clear();
     }
   } catch (...) {
     Fail(std::current_exception());
@@ -262,6 +356,10 @@ void DeltaRepairEngine::UnregisterProbes(uint32_t slot) {
 
 void DeltaRepairEngine::ApplyResult(Done& d) {
   uint32_t slot = d.slot;
+  // Memo tallies count every finished repair, even one whose slot died
+  // in flight — they measure saturation work saved, not live state.
+  if (d.memo == 1) ++stats_.memo_hits;
+  if (d.memo == 0) ++stats_.memo_misses;
   if (slot_class_[slot] == kDeadClass) {
     return;  // deleted while the repair was in flight
   }
@@ -326,11 +424,34 @@ Status DeltaRepairEngine::EnsureIndexFresh() {
   if (!index_stale_) return Status::OK();
   // A master delta staled the index. The pipeline is already quiescent
   // (master mutations drain it), so no worker can be probing the old one.
-  index_ = std::make_unique<MasterIndex>(*rules_, master_);
+  index_ = std::make_unique<MasterIndex>(*rules_, master_, options_.index_kind);
   sat_ = std::make_unique<Saturator>(*rules_, master_, *index_);
   ++sat_epoch_;
   ++stats_.master_rebuilds;
   index_stale_ = false;
+  if (options_.use_memo) {
+    // Publish this epoch's memo invalidation. A node exists for every
+    // epoch — even an empty one — so a worker can prove its flush chain
+    // is gapless down to the epoch it last saw.
+    auto node = std::make_shared<MemoFlush>();
+    node->epoch = sat_epoch_;
+    node->hashes = std::move(pending_memo_flush_);
+    pending_memo_flush_.clear();
+    node->prev = memo_flush_head_;
+    memo_flush_head_ = std::move(node);
+    // Cap the chain. The cut mutates a node others may hold refs to, but
+    // the pipeline is quiescent here (master deltas drained it) and no
+    // worker dereferences its chain outside batch start, so nothing
+    // races; workers cut off simply Clear() when they next run.
+    MemoFlush* n = memo_flush_head_.get();
+    for (size_t depth = 1; n->prev != nullptr; ++depth) {
+      if (depth >= kMaxFlushChain) {
+        n->prev.reset();
+        break;
+      }
+      n = n->prev.get();
+    }
+  }
   std::vector<uint32_t> dirty(dirty_slots_.begin(), dirty_slots_.end());
   dirty_slots_.clear();
   stats_.tuples_invalidated += dirty.size();
@@ -417,6 +538,11 @@ void DeltaRepairEngine::InvalidateMasterRow(
     size_t row, const std::vector<size_t>& rule_idxs) {
   for (size_t i : rule_idxs) {
     uint64_t h = MasterProbeKeyHash(i, master_, row, rules_->at(i).lhsm());
+    // Every affected hash joins the next epoch's memo flush, whether or
+    // not a live slot depends on it right now: shard memos also hold
+    // entries for rows since deleted or updated, and for rows on rings
+    // this thread knows nothing about.
+    if (options_.use_memo) pending_memo_flush_.push_back(h);
     auto it = probe_to_slots_.find(h);
     if (it == probe_to_slots_.end()) continue;
     for (uint32_t slot : it->second) {

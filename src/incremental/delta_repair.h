@@ -62,11 +62,14 @@
 #include "analysis/analyze_mode.h"
 #include "analysis/rule_summary.h"
 #include "core/dependency_graph.h"
+#include "core/master_index.h"
 #include "core/repair_tuple.h"
 #include "stream/bounded_queue.h"
 #include "stream/delta_source.h"
 
 namespace certfix {
+
+class RepairMemo;
 
 /// \brief Execution knobs, mirroring StreamOptions.
 struct DeltaRepairOptions {
@@ -81,6 +84,17 @@ struct DeltaRepairOptions {
   /// every diagnostic and proceeds; strict refuses the session — every
   /// mutator returns the Inconsistent verdict (conflict witness included).
   AnalyzeMode analyze_first = AnalyzeMode::kOff;
+  /// Per-shard repair memoization (core/repair_memo.h). Unlike the batch
+  /// and stream engines, the memo here survives master rebuilds: a
+  /// rebuild flushes exactly the entries whose recorded probes a master
+  /// delta could have re-answered (the same hash machinery that drives
+  /// slot invalidation), so hot entries keep paying off across epochs.
+  /// Output-invisible; hit/miss tallies surface in DeltaRepairStats.
+  bool use_memo = true;
+  /// Master-index implementation for every internal build and rebuild.
+  /// kMap keeps the legacy std::unordered_map path alive as the A/B
+  /// oracle for the flat table (tests/scenario_corpus_test.cc).
+  IndexKind index_kind = IndexKind::kFlat;
 };
 
 /// \brief Counters. The live-state fields (rows..cells_changed) mirror
@@ -98,6 +112,8 @@ struct DeltaRepairStats {
   uint64_t untouched = 0;
   uint64_t conflicting = 0;
   uint64_t cells_changed = 0;      ///< live input-vs-repaired cell diffs
+  uint64_t memo_hits = 0;          ///< repairs replayed from a shard memo
+  uint64_t memo_misses = 0;        ///< repairs computed (and memoized)
 };
 
 /// \brief Long-lived engine owning the repaired relation plus its
@@ -172,6 +188,24 @@ class DeltaRepairEngine {
   static constexpr uint8_t kPendingClass = 4;
   static constexpr uint8_t kDeadClass = 5;
 
+  /// One master-rebuild epoch's memo invalidation: the probe hashes a
+  /// master delta could have re-answered, linked to the previous epoch's
+  /// node. Workers flush lazily — a worker that skipped epochs (its ring
+  /// was idle) walks the chain from the job's head down to the epoch it
+  /// last saw and applies every node on the way; if the chain was capped
+  /// before reaching it, the worker drops its whole memo (sound, never
+  /// stale). Nodes are immutable after publication; prev is cut only at
+  /// the depth cap, under pipeline quiescence.
+  struct MemoFlush {
+    uint64_t epoch = 0;
+    std::vector<uint64_t> hashes;
+    std::shared_ptr<MemoFlush> prev;
+  };
+  /// Epochs are consecutive (every rebuild appends one node), so a chain
+  /// of this depth serves workers up to this many epochs behind; older
+  /// ones Clear(). Bounds chain memory under master-heavy churn.
+  static constexpr size_t kMaxFlushChain = 32;
+
   /// One repair job riding a shard ring. Carries the saturator pointer and
   /// its epoch so workers rebuild their pool bridge exactly when a master
   /// rebuild happened (the queue's mutex publishes the new saturator).
@@ -180,6 +214,7 @@ class DeltaRepairEngine {
     uint32_t slot = 0;
     uint64_t epoch = 0;
     const Saturator* sat = nullptr;
+    std::shared_ptr<MemoFlush> flush;  ///< chain head at enqueue
     std::vector<Value> values;
   };
   /// One repair result waiting in the reorder buffer.
@@ -189,9 +224,15 @@ class DeltaRepairEngine {
     std::vector<Value> fixed;
     FixReport report;
     std::vector<uint64_t> probes;
+    int8_t memo = -1;  ///< -1 memo off, 0 miss, 1 replayed
   };
 
   Status CheckLive();
+  /// Applies every flush-chain node with epoch > last_epoch to `memo`
+  /// (oldest first); clears the memo outright when the chain no longer
+  /// reaches last_epoch + 1. No-op on an empty memo.
+  static void ApplyMemoFlush(RepairMemo* memo, const MemoFlush* head,
+                             uint64_t last_epoch);
   /// Rebuilds MasterIndex/Saturator if a master delta staled them, then
   /// enqueues re-repairs for the invalidated slots.
   Status EnsureIndexFresh();
@@ -247,7 +288,14 @@ class DeltaRepairEngine {
   // Sequential-path repair state (num_shards == 1).
   PoolPtr local_pool_;
   std::unique_ptr<PoolBridge> local_bridge_;
+  std::unique_ptr<RepairMemo> local_memo_;
   uint64_t local_epoch_ = ~0ULL;
+
+  /// Memo-invalidation state, written by the caller thread only:
+  /// pending_memo_flush_ gathers probe hashes as master deltas land and
+  /// becomes the next epoch's MemoFlush node at the rebuild.
+  std::vector<uint64_t> pending_memo_flush_;
+  std::shared_ptr<MemoFlush> memo_flush_head_;
 
   std::vector<std::unique_ptr<BoundedQueue<Job>>> queues_;
   std::vector<std::thread> workers_;

@@ -24,6 +24,7 @@ bool RuleMiner::HoldsOn(const std::vector<size_t>& rows,
                         const std::vector<AttrId>& x, AttrId b,
                         size_t* support) const {
   // Keys and the B agreement check are pool ids — one relation, one pool.
+  // contract-lint: allow(idkey-map) one-shot mining scan, not a probe path
   std::unordered_map<IdKey, ValueId, IdKeyHash> seen;
   IdKey key(x.size());
   for (size_t row : rows) {

@@ -79,6 +79,26 @@ class BoundedQueue {
     return true;
   }
 
+  /// Dequeues up to `max` items, appending them to `*out`. Blocks like
+  /// Pop for the first item, then drains whatever else is already
+  /// queued (never waits for the batch to fill). Returns the number of
+  /// items dequeued; 0 only when the queue is closed and fully drained.
+  /// The batch-probe consumers use this: one lock acquisition hands a
+  /// worker a block of tuples to stage together.
+  size_t PopBatch(std::vector<T>* out, size_t max) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
+    if (size_ == 0) return 0;  // closed and drained
+    const size_t n = max < size_ ? max : size_;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(slots_[head_]));
+      head_ = (head_ + 1) % slots_.size();
+    }
+    size_ -= n;
+    not_full_.notify_all();
+    return n;
+  }
+
   /// Closes the queue: subsequent (and blocked) pushes fail, pops drain
   /// the remaining items then fail. Idempotent.
   void Close() {

@@ -29,6 +29,8 @@ struct StreamSnapshot {
                                     ///< full ring or in-flight window
   uint64_t pool_recycles = 0;   ///< shard pools reset (bounded memory)
   uint64_t max_reorder = 0;     ///< high-water mark of the merge buffer
+  uint64_t memo_hits = 0;       ///< repairs replayed from a shard memo
+  uint64_t memo_misses = 0;     ///< repairs computed (and memoized)
 };
 
 /// \brief Live atomic counters; copyable only via Snapshot().
@@ -58,6 +60,12 @@ class StreamMetrics {
   void CountPoolRecycle() {
     pool_recycles_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Folds in a shard memo's hit/miss tallies (workers add them when
+  /// their loop drains, so totals are exact after Finish).
+  void AddMemoCounts(uint64_t hits, uint64_t misses) {
+    memo_hits_.fetch_add(hits, std::memory_order_relaxed);
+    memo_misses_.fetch_add(misses, std::memory_order_relaxed);
+  }
   void NoteReorderDepth(uint64_t depth) {
     uint64_t seen = max_reorder_.load(std::memory_order_relaxed);
     while (depth > seen && !max_reorder_.compare_exchange_weak(
@@ -78,6 +86,8 @@ class StreamMetrics {
         backpressure_waits_.load(std::memory_order_relaxed);
     s.pool_recycles = pool_recycles_.load(std::memory_order_relaxed);
     s.max_reorder = max_reorder_.load(std::memory_order_relaxed);
+    s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+    s.memo_misses = memo_misses_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -92,6 +102,8 @@ class StreamMetrics {
   std::atomic<uint64_t> backpressure_waits_{0};
   std::atomic<uint64_t> pool_recycles_{0};
   std::atomic<uint64_t> max_reorder_{0};
+  std::atomic<uint64_t> memo_hits_{0};
+  std::atomic<uint64_t> memo_misses_{0};
 };
 
 }  // namespace certfix

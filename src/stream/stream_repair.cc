@@ -4,9 +4,17 @@
 #include <stdexcept>
 
 #include "analysis/analyzer.h"
+#include "core/repair_memo.h"
 #include "util/thread_pool.h"
 
 namespace certfix {
+
+namespace {
+/// Tuples staged per probe block (see batch_repair.cc): one PopBatch
+/// hands the worker up to this many tuples whose memo and master-index
+/// buckets are prefetched together before any repair runs.
+constexpr size_t kProbeBlock = 32;
+}  // namespace
 
 StreamRepairEngine::StreamRepairEngine(const Saturator& sat, AttrSet trusted,
                                        StreamSink* sink,
@@ -150,34 +158,67 @@ void StreamRepairEngine::ShardLoop(size_t shard) {
     PoolPtr pool = std::make_shared<ValuePool>();
     const ValuePool* master_pool = sat_->index().pool().get();
     PoolBridge bridge(pool.get(), master_pool);
-    Item item;
-    while (queues_[shard]->Pop(&item)) {
+    std::unique_ptr<RepairMemo> memo;
+    if (options_.use_memo) {
+      memo = std::make_unique<RepairMemo>(sat_->rules(), trusted_);
+    }
+    const std::vector<size_t> first_round =
+        sat_->FirstRoundProbeRules(trusted_);
+    std::vector<Item> batch;
+    std::vector<Tuple> rows;
+    batch.reserve(kProbeBlock);
+    rows.reserve(kProbeBlock);
+    while (queues_[shard]->PopBatch(&batch, kProbeBlock) > 0) {
+      // The recycle check runs once per batch, before any row is built:
+      // a mid-batch reset would mix pools within one staged block. The
+      // budget may overshoot by at most one batch of values.
       if (pool->size() > options_.pool_recycle_values) {
         // Bounded memory on unbounded streams: drop the shard dictionary
         // (and the bridge cache indexed by it) once it outgrows the
-        // budget. Safe between tuples — nothing outside this loop holds
-        // ids of the old pool.
+        // budget. Safe between batches — nothing outside this loop holds
+        // ids of the old pool. The memo keys on that pool's ids, so it
+        // resets with it.
         pool = std::make_shared<ValuePool>();
         bridge = PoolBridge(pool.get(), master_pool);
+        if (memo != nullptr) memo->Clear();
         metrics_.CountPoolRecycle();
       }
-      Tuple row(schema_, pool);
-      for (size_t a = 0; a < item.values.size(); ++a) {
-        row.Set(static_cast<AttrId>(a), std::move(item.values[a]));
+      // Stage: materialize the batch's rows, prefetching each row's memo
+      // bucket and round-1 value-summary buckets...
+      for (Item& item : batch) {
+        Tuple row(schema_, pool);
+        for (size_t a = 0; a < item.values.size(); ++a) {
+          row.Set(static_cast<AttrId>(a), std::move(item.values[a]));
+        }
+        if (memo != nullptr) memo->Prefetch(row);
+        sat_->index().PrefetchRhsProbes(row, first_round, &bridge);
+        rows.push_back(std::move(row));
       }
-      TupleRepair r = RepairOneTuple(*sat_, row, trusted_, all_, &bridge);
-      StreamRecord record;
-      record.seq = item.seq;
-      record.report = r.report;
-      record.fixed.reserve(schema_->num_attrs());
-      // Copy the repaired cells out of the shard pool: records own their
-      // values, so the merge stage and sink never touch this pool. On
-      // conflict the input row is emitted unchanged (r.fixed is empty).
-      const Tuple& emit = r.report.conflicting() ? row : r.fixed;
-      for (size_t a = 0; a < schema_->num_attrs(); ++a) {
-        record.fixed.push_back(emit.at(static_cast<AttrId>(a)));
+      // ...then resolve: repair in arrival order while lines are in
+      // flight.
+      for (size_t j = 0; j < rows.size(); ++j) {
+        const Tuple& row = rows[j];
+        TupleRepair r = RepairOneTuple(*sat_, row, trusted_, all_, &bridge,
+                                       nullptr, memo.get());
+        StreamRecord record;
+        record.seq = batch[j].seq;
+        record.report = r.report;
+        record.fixed.reserve(schema_->num_attrs());
+        // Copy the repaired cells out of the shard pool: records own
+        // their values, so the merge stage and sink never touch this
+        // pool. On conflict the input row is emitted unchanged (r.fixed
+        // is empty).
+        const Tuple& emit = r.report.conflicting() ? row : r.fixed;
+        for (size_t a = 0; a < schema_->num_attrs(); ++a) {
+          record.fixed.push_back(emit.at(static_cast<AttrId>(a)));
+        }
+        EmitOrdered(std::move(record));
       }
-      EmitOrdered(std::move(record));
+      batch.clear();
+      rows.clear();
+    }
+    if (memo != nullptr) {
+      metrics_.AddMemoCounts(memo->hits(), memo->misses());
     }
   } catch (...) {
     Fail(std::current_exception());

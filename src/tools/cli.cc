@@ -48,7 +48,8 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
       continue;
     }
     std::string key = a.substr(2);
-    if (key == "no-conditional" || key == "json" || key == "strict") {
+    if (key == "no-conditional" || key == "json" || key == "strict" ||
+        key == "no-memo") {
       out.flags[key] = "true";
       continue;
     }
@@ -72,15 +73,18 @@ void Usage(std::ostream& err) {
       << "  repair  --master M.csv --rules R.rules --input D.csv\n"
       << "          --trusted a,b [--output OUT.csv] [--threads N]\n"
       << "          [--chunk-size N] [--analyze off|warn|strict]\n"
+      << "          [--index flat|map] [--no-memo]\n"
       << "  repair-stream\n"
       << "          --master M.csv --rules R.rules --input D.csv\n"
       << "          --trusted a,b [--output OUT.csv] [--threads N]\n"
       << "          [--queue-capacity N] [--analyze off|warn|strict]\n"
+      << "          [--index flat|map] [--no-memo]\n"
       << "  repair-deltas\n"
       << "          --master M.csv --rules R.rules --input D.csv\n"
       << "          --deltas D.deltas --trusted a,b [--output OUT.csv]\n"
       << "          [--threads N] [--queue-capacity N]\n"
       << "          [--analyze off|warn|strict]\n"
+      << "          [--index flat|map] [--no-memo]\n"
       << "  workload gen\n"
       << "          --spec S.toml --out-dir DIR [--prefix NAME]\n"
       << "          (writes NAME_master.csv, NAME_initial.csv, NAME.deltas)\n";
@@ -195,6 +199,26 @@ bool ParseSizeFlag(const ParsedArgs& args, const char* flag, size_t* out,
   }
   *out = v;
   return true;
+}
+
+/// Parses the optional --index flat|map flag shared by the repair
+/// commands: the master-index implementation. flat (default) is the
+/// cache-conscious open-addressing table; map keeps the legacy
+/// std::unordered_map path alive as its A/B oracle.
+bool ParseIndexFlag(const ParsedArgs& args, IndexKind* kind,
+                    std::ostream& err) {
+  auto it = args.flags.find("index");
+  if (it == args.flags.end()) return true;
+  if (it->second == "flat") {
+    *kind = IndexKind::kFlat;
+    return true;
+  }
+  if (it->second == "map") {
+    *kind = IndexKind::kMap;
+    return true;
+  }
+  err << "--index must be flat or map, got '" << it->second << "'\n";
+  return false;
 }
 
 /// Parses the optional --analyze off|warn|strict flag shared by the
@@ -393,12 +417,15 @@ int CmdRepair(const ParsedArgs& args, std::ostream& out,
     return 2;
   }
   RepairOptions options;
+  IndexKind index_kind = IndexKind::kFlat;
   if (!ParseSizeFlag(args, "threads", &options.num_threads, err) ||
       !ParseSizeFlag(args, "chunk-size", &options.chunk_size, err) ||
-      !ParseAnalyzeFlag(args, &options.analyze_first, err)) {
+      !ParseAnalyzeFlag(args, &options.analyze_first, err) ||
+      !ParseIndexFlag(args, &index_kind, err)) {
     return 1;
   }
-  MasterIndex index(setup.rules, setup.master);
+  options.use_memo = args.flags.count("no-memo") == 0;
+  MasterIndex index(setup.rules, setup.master, index_kind);
   Saturator sat(setup.rules, setup.master, index);
   BatchRepair repair(sat, options);
   Result<BatchRepairResult> checked =
@@ -414,6 +441,8 @@ int CmdRepair(const ParsedArgs& args, std::ostream& out,
       << "  untouched: " << result.tuples_untouched
       << "  conflicts: " << result.tuples_conflicting
       << "  cells changed: " << result.cells_changed << "\n";
+  out << "memo hits: " << result.memo_hits
+      << "  memo misses: " << result.memo_misses << "\n";
   auto output_it = args.flags.find("output");
   if (output_it != args.flags.end()) {
     Status st = WriteCsvFile(result.repaired, output_it->second);
@@ -433,18 +462,21 @@ int CmdRepairStream(const ParsedArgs& args, std::ostream& out,
     return code;
   }
   StreamOptions options;
+  IndexKind index_kind = IndexKind::kFlat;
   if (!ParseSizeFlag(args, "threads", &options.num_shards, err) ||
       !ParseSizeFlag(args, "queue-capacity", &options.queue_capacity, err) ||
-      !ParseAnalyzeFlag(args, &options.analyze_first, err)) {
+      !ParseAnalyzeFlag(args, &options.analyze_first, err) ||
+      !ParseIndexFlag(args, &index_kind, err)) {
     return 1;
   }
+  options.use_memo = args.flags.count("no-memo") == 0;
   std::ifstream in(setup.input_path);
   if (!in) {
     err << Status::NotFound("cannot open file: " + setup.input_path) << "\n";
     return 2;
   }
 
-  MasterIndex index(setup.rules, setup.master);
+  MasterIndex index(setup.rules, setup.master, index_kind);
   Saturator sat(setup.rules, setup.master, index);
   CsvTupleSource source(setup.master.schema(), in);
 
@@ -506,7 +538,9 @@ int CmdRepairStream(const ParsedArgs& args, std::ostream& out,
       << "  cells changed: " << s.cells_changed << "\n";
   out << "shards: " << engine.num_shards()
       << "  backpressure waits: " << s.backpressure_waits
-      << "  pool recycles: " << s.pool_recycles << "\n";
+      << "  pool recycles: " << s.pool_recycles
+      << "  memo hits: " << s.memo_hits
+      << "  memo misses: " << s.memo_misses << "\n";
   if (output_it != args.flags.end()) {
     out << "repaired relation written to " << output_it->second << "\n";
   }
@@ -527,9 +561,11 @@ int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
   DeltaRepairOptions options;
   if (!ParseSizeFlag(args, "threads", &options.num_shards, err) ||
       !ParseSizeFlag(args, "queue-capacity", &options.queue_capacity, err) ||
-      !ParseAnalyzeFlag(args, &options.analyze_first, err)) {
+      !ParseAnalyzeFlag(args, &options.analyze_first, err) ||
+      !ParseIndexFlag(args, &options.index_kind, err)) {
     return 1;
   }
+  options.use_memo = args.flags.count("no-memo") == 0;
   Result<Relation> input =
       ReadCsvFile(setup.master.schema(), setup.input_path);
   if (!input.ok()) {
@@ -575,7 +611,9 @@ int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
       << "  invalidated: " << stats.tuples_invalidated
       << "  rebuilds: " << stats.master_rebuilds
       << "  no-op updates: " << stats.noop_updates
-      << "  shards: " << engine.num_shards() << "\n";
+      << "  shards: " << engine.num_shards()
+      << "  memo hits: " << stats.memo_hits
+      << "  memo misses: " << stats.memo_misses << "\n";
   auto output_it = args.flags.find("output");
   if (output_it != args.flags.end()) {
     Status st = WriteCsvFile(engine.SnapshotRepaired(), output_it->second);

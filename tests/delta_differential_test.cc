@@ -357,11 +357,21 @@ TEST(DeltaPropertyTest, RandomDeltaSequencesMatchScratchAtEveryShardCount) {
 
   constexpr size_t kSteps = 520;
   constexpr size_t kCheckEvery = 65;
+  // The memo-off legs replay the identical sequence: byte-equal finals
+  // prove memoization (and its master-delta flush chain) is invisible.
+  struct RunConfig {
+    size_t shards;
+    bool memo;
+  };
+  const std::vector<RunConfig> runs = {
+      {1, true}, {2, true}, {8, true}, {1, false}, {8, false}};
   std::vector<std::string> final_csv;
-  for (size_t shards : {1, 2, 8}) {
+  for (const RunConfig& run : runs) {
+    const size_t shards = run.shards;
     DeltaRepairOptions options;
     options.num_shards = shards;
     options.queue_capacity = 16;
+    options.use_memo = run.memo;
     DeltaRepairEngine engine(w.rules, w.master, w.trusted, options);
 
     // Same per-shard-count RNG so all three runs see one sequence.
@@ -396,10 +406,21 @@ TEST(DeltaPropertyTest, RandomDeltaSequencesMatchScratchAtEveryShardCount) {
     DeltaRepairStats stats = engine.stats();
     EXPECT_LE(stats.tuples_repaired,
               40 + kSteps + stats.tuples_invalidated);
+    if (run.memo) {
+      // Every repair either replayed or was computed-and-recorded.
+      EXPECT_EQ(stats.memo_hits + stats.memo_misses, stats.tuples_repaired);
+    } else {
+      EXPECT_EQ(stats.memo_hits, 0u);
+      EXPECT_EQ(stats.memo_misses, 0u);
+    }
   }
-  // All shard counts walked the same sequence to the same bytes.
-  EXPECT_EQ(final_csv[0], final_csv[1]);
-  EXPECT_EQ(final_csv[0], final_csv[2]);
+  // Every shard count and memo mode walked the same sequence to the
+  // same bytes.
+  for (size_t i = 1; i < final_csv.size(); ++i) {
+    EXPECT_EQ(final_csv[0], final_csv[i])
+        << "run " << i << " (shards=" << runs[i].shards << " memo="
+        << runs[i].memo << ") diverged";
+  }
 }
 
 }  // namespace

@@ -3,12 +3,17 @@
 // and replayed through all three engines, which must agree byte-for-byte:
 //
 //  * oracle    — positional replay of the log (ApplyDeltaLog) + BatchRepair
-//                from scratch over the final input against the final master
+//                from scratch over the final input against the final master,
+//                on the legacy map index with memoization off (maximally
+//                independent of the optimized paths it judges)
 //  * delta     — DeltaRepairEngine consuming the log via DeltaLogSource,
-//                at 1, 2, and 8 shards
+//                across shard counts x {flat, map} index x {memo on, off}
 //  * stream    — StreamRepairEngine over the final input rows (point-of-
-//                entry repair of the surviving tuples), at 1, 2, and 8
-//                shards, against the final master
+//                entry repair of the surviving tuples), across the same
+//                shard/index/memo grid, against the final master
+//
+// The zipf-skew spec additionally asserts the memo earns its keep: its
+// duplicate-heavy stream must replay a sizable fraction of repairs.
 //
 // Seed shifting: CERTFIX_PROPERTY_SEED offsets every scenario's seed, and
 // each --gtest_repeat iteration shifts it again, so CI soak runs cover
@@ -98,48 +103,124 @@ TEST_P(ScenarioCorpusTest, EnginesAgreeByteForByte) {
   ASSERT_TRUE(final_input.ok()) << final_input.status();
   ASSERT_TRUE(final_master.ok()) << final_master.status();
 
-  MasterIndex oracle_index(sc->rules, *final_master);
+  // The oracle deliberately avoids everything under test: legacy map
+  // index, no memoization, single-threaded by default.
+  MasterIndex oracle_index(sc->rules, *final_master, IndexKind::kMap);
   Saturator oracle_sat(sc->rules, *final_master, oracle_index);
-  BatchRepair oracle(oracle_sat);
+  RepairOptions oracle_options;
+  oracle_options.use_memo = false;
+  BatchRepair oracle(oracle_sat, oracle_options);
   Result<BatchRepairResult> oracle_result =
       oracle.RepairChecked(*final_input, sc->trusted);
   ASSERT_TRUE(oracle_result.ok()) << oracle_result.status();
   const std::string want = CsvBytes(oracle_result->repaired);
 
-  for (size_t shards : {1u, 2u, 8u}) {
-    SCOPED_TRACE("shards " + std::to_string(shards));
+  // The flat-index saturator the stream engine's flat configs run on.
+  MasterIndex flat_index(sc->rules, *final_master, IndexKind::kFlat);
+  Saturator flat_sat(sc->rules, *final_master, flat_index);
 
-    // Delta engine: consume the serialized log bytes via DeltaLogSource.
-    {
-      DeltaRepairOptions options;
-      options.num_shards = shards;
-      DeltaRepairEngine engine(sc->rules, sc->master, sc->trusted, options);
-      ASSERT_TRUE(engine.precheck_status().ok()) << engine.precheck_status();
-      ASSERT_TRUE(engine.Load(sc->initial).ok());
-      std::istringstream in(log);
-      DeltaLogSource source(sc->schema, sc->schema, in);
-      Status st = engine.ApplyAll(&source);
-      ASSERT_TRUE(st.ok()) << st;
-      EXPECT_EQ(CsvBytes(engine.SnapshotInput()), CsvBytes(*final_input));
-      EXPECT_EQ(CsvBytes(engine.SnapshotRepaired()), want);
+  const bool is_zipf = spec.name.find("zipf") != std::string::npos;
+
+  struct Config {
+    IndexKind kind;
+    bool memo;
+    std::vector<size_t> shard_counts;
+  };
+  // The default configuration gets the full shard sweep; the A/B legs
+  // pin the corners (inline path with memo, workers without, ...).
+  const std::vector<Config> configs = {
+      {IndexKind::kFlat, true, {1, 2, 8}},
+      {IndexKind::kFlat, false, {1, 8}},
+      {IndexKind::kMap, true, {1, 8}},
+      {IndexKind::kMap, false, {8}},
+  };
+  for (const Config& config : configs) {
+    for (size_t shards : config.shard_counts) {
+      SCOPED_TRACE("index " +
+                   std::string(config.kind == IndexKind::kFlat ? "flat"
+                                                               : "map") +
+                   " memo " + (config.memo ? "on" : "off") + " shards " +
+                   std::to_string(shards));
+
+      // Delta engine: consume the serialized log bytes via DeltaLogSource.
+      {
+        DeltaRepairOptions options;
+        options.num_shards = shards;
+        options.index_kind = config.kind;
+        options.use_memo = config.memo;
+        DeltaRepairEngine engine(sc->rules, sc->master, sc->trusted,
+                                 options);
+        ASSERT_TRUE(engine.precheck_status().ok())
+            << engine.precheck_status();
+        ASSERT_TRUE(engine.Load(sc->initial).ok());
+        std::istringstream in(log);
+        DeltaLogSource source(sc->schema, sc->schema, in);
+        Status st = engine.ApplyAll(&source);
+        ASSERT_TRUE(st.ok()) << st;
+        EXPECT_EQ(CsvBytes(engine.SnapshotInput()), CsvBytes(*final_input));
+        EXPECT_EQ(CsvBytes(engine.SnapshotRepaired()), want);
+        DeltaRepairStats stats = engine.stats();
+        if (config.memo) {
+          // Every repair is either a replay or a computation.
+          EXPECT_EQ(stats.memo_hits + stats.memo_misses,
+                    stats.tuples_repaired);
+        } else {
+          EXPECT_EQ(stats.memo_hits, 0u);
+          EXPECT_EQ(stats.memo_misses, 0u);
+        }
+      }
+
+      // Stream engine: point-of-entry repair of the final input rows.
+      {
+        StreamOptions options;
+        options.num_shards = shards;
+        options.use_memo = config.memo;
+        std::ostringstream out;
+        CsvStreamSink sink(sc->schema, out);
+        const Saturator& sat =
+            config.kind == IndexKind::kFlat ? flat_sat : oracle_sat;
+        StreamRepairEngine engine(sat, sc->trusted, &sink, options);
+        ASSERT_TRUE(engine.precheck_status().ok())
+            << engine.precheck_status();
+        for (const auto& fields : input_rows) {
+          Status st = engine.PushStrings(fields);
+          ASSERT_TRUE(st.ok()) << st;
+        }
+        StreamSnapshot snapshot = engine.Finish();
+        EXPECT_EQ(snapshot.tuples_out, input_rows.size());
+        EXPECT_EQ(out.str(), want);
+        if (config.memo) {
+          EXPECT_EQ(snapshot.memo_hits + snapshot.memo_misses,
+                    snapshot.tuples_out);
+        } else {
+          EXPECT_EQ(snapshot.memo_hits, 0u);
+          EXPECT_EQ(snapshot.memo_misses, 0u);
+        }
+      }
     }
+  }
 
-    // Stream engine: point-of-entry repair of the final input rows.
-    {
-      StreamOptions options;
-      options.num_shards = shards;
-      std::ostringstream out;
-      CsvStreamSink sink(sc->schema, out);
-      StreamRepairEngine engine(oracle_sat, sc->trusted, &sink, options);
-      ASSERT_TRUE(engine.precheck_status().ok()) << engine.precheck_status();
+  // Memo effectiveness on the skewed workload: replaying the zipf
+  // stream a second time through the same engine must hit the shard
+  // memos for every repeated row (identical rows route to the same
+  // shard, and its memo key is the row's full relevant projection).
+  if (is_zipf && !input_rows.empty()) {
+    StreamOptions options;
+    options.num_shards = 4;
+    NullSink sink;
+    StreamRepairEngine engine(flat_sat, sc->trusted, &sink, options);
+    ASSERT_TRUE(engine.precheck_status().ok()) << engine.precheck_status();
+    for (int pass = 0; pass < 2; ++pass) {
       for (const auto& fields : input_rows) {
         Status st = engine.PushStrings(fields);
         ASSERT_TRUE(st.ok()) << st;
       }
-      StreamSnapshot snapshot = engine.Finish();
-      EXPECT_EQ(snapshot.tuples_out, input_rows.size());
-      EXPECT_EQ(out.str(), want);
     }
+    StreamSnapshot snapshot = engine.Finish();
+    EXPECT_EQ(snapshot.memo_hits + snapshot.memo_misses,
+              2 * input_rows.size());
+    EXPECT_GE(snapshot.memo_hits, input_rows.size())
+        << "second pass over identical rows should replay from the memo";
   }
 }
 

@@ -22,8 +22,16 @@ Checks (each line-anchored, reported as file:line):
 
   include-guard   Headers under src/ use CERTFIX_<PATH>_H_ guards.
 
+  idkey-map       std::unordered_map<IdKey, ...> is allowed only inside
+                  the index implementations (flat_key_index.{h,cc} and
+                  the legacy key_index.h) — hot-path code defaults to
+                  FlatIdTable/FlatKeyIndex; cold build-side groupings
+                  carry an explicit waiver.
+
 A line is waived with `// contract-lint: allow(<check>) <reason>`; the
-reason is mandatory.
+reason is mandatory. For idkey-map only, the waiver may sit on the line
+immediately before or after the declaration (multi-line template
+declarations rarely fit a trailing comment).
 
 Usage: tools/contract_lint.py [repo_root]   (exit 1 on any finding)
 """
@@ -34,12 +42,16 @@ import sys
 
 THREAD_ALLOWED = ("src/util/", "src/stream/", "src/incremental/")
 POOL_ALLOWED = ("src/relational/",)
+IDKEY_ALLOWED = ("src/relational/flat_key_index.h",
+                 "src/relational/flat_key_index.cc",
+                 "src/relational/key_index.h")
 
 WAIVER = re.compile(r"//\s*contract-lint:\s*allow\(([\w-]+)\)\s+\S")
 LINE_COMMENT = re.compile(r"//.*$")
 
 THREAD_USE = re.compile(r"\bstd::thread\b(?!\s*::hardware_concurrency)")
 POOL_WRITE = re.compile(r"(?:->|\.)\s*Intern\s*\(")
+IDKEY_MAP = re.compile(r"\bstd::unordered_map<\s*IdKey\b")
 
 STATUS_DECL = re.compile(
     r"^\s*(?:virtual\s+)?(?:Status|Result<[^;=]*>)\s+(\w+)\s*\(")
@@ -155,6 +167,19 @@ def main():
                     (relpath, lineno,
                      "threads: raw std::thread outside util/stream/"
                      "incremental — use ThreadPool/ParallelFor"))
+
+            if (IDKEY_MAP.search(code)
+                    and relpath not in IDKEY_ALLOWED
+                    and not waived(raw, "idkey-map")
+                    and not (lineno >= 2
+                             and waived(lines[lineno - 2], "idkey-map"))
+                    and not (lineno < len(lines)
+                             and waived(lines[lineno], "idkey-map"))):
+                findings.append(
+                    (relpath, lineno,
+                     "idkey-map: std::unordered_map<IdKey, ...> outside the "
+                     "index implementations — use FlatIdTable/FlatKeyIndex "
+                     "(relational/flat_key_index.h) or waive with a reason"))
 
             if (POOL_WRITE.search(code)
                     and not relpath.startswith(POOL_ALLOWED)
