@@ -10,6 +10,7 @@
 /// Build & run:  ./build/bench/bench_scenarios
 ///               [--specs DIR] [--json OUT.json] [--threads N]
 ///               [--scale-deltas K] [--index flat|map] [--no-memo]
+///               [--no-telemetry]
 ///
 /// Defaults: DIR = tests/scenarios, threads = hardware,
 /// --scale-deltas 20 multiplies each spec's delta count so the small
@@ -18,6 +19,13 @@
 /// machine-readable summary published as BENCH_scenarios.json; scenarios
 /// are listed in sorted filename order so tools/bench_diff.py can match
 /// list entries by index.
+///
+/// Each scenario runs under its own telemetry registry and publishes a
+/// per-scenario "latency" object (repair_tuple_ns / queue_push_wait_ns
+/// percentiles) in the JSON — telemetry is on by default, as in
+/// production; --no-telemetry disables the clock reads to measure the
+/// instrumentation overhead itself (tools/bench_diff.py ignores keys
+/// absent from the baseline, so older baselines keep working).
 ///
 /// --index map --no-memo runs the whole corpus on the legacy
 /// unordered_map master index with memoization off — the CI release job
@@ -38,6 +46,7 @@
 #include "relational/csv.h"
 #include "stream/sink.h"
 #include "stream/stream_repair.h"
+#include "telemetry/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/scenario.h"
@@ -63,7 +72,19 @@ struct ScenarioRow {
   double stream_seconds = 0;
   double stream_rows_per_sec = 0;
   bool output_identical = false;
+  telemetry::HistogramSnapshot repair_tuple;
+  telemetry::HistogramSnapshot queue_push_wait;
 };
+
+/// Renders one histogram snapshot as a flat JSON object (integer ns).
+void WriteLatencyJson(std::ostream& json, const char* key,
+                      const telemetry::HistogramSnapshot& h,
+                      const char* trailer) {
+  json << "        \"" << key << "\": {\"count\": " << h.count
+       << ", \"p50\": " << h.p50 << ", \"p90\": " << h.p90
+       << ", \"p99\": " << h.p99 << ", \"max\": " << h.max << "}" << trailer
+       << "\n";
+}
 
 int Run(const std::string& specs_dir, const std::string& json_path,
         size_t threads, size_t scale_deltas, IndexKind index_kind,
@@ -96,6 +117,10 @@ int Run(const std::string& specs_dir, const std::string& json_path,
     }
     ScenarioSpec spec = std::move(loaded).ValueOrDie();
     spec.num_deltas *= scale_deltas;
+
+    // Fresh registry per scenario so each JSON row's latency block
+    // covers exactly the engines run for that scenario.
+    telemetry::ScopedRegistry scenario_registry;
 
     ScenarioRow row;
     row.name = spec.name;
@@ -191,6 +216,12 @@ int Run(const std::string& specs_dir, const std::string& json_path,
       stream_bytes = out.str();
     }
 
+    row.repair_tuple =
+        telemetry::Registry::Global()->GetHistogram("repair_tuple_ns")->Snap();
+    row.queue_push_wait = telemetry::Registry::Global()
+                              ->GetHistogram("queue_push_wait_ns")
+                              ->Snap();
+
     row.output_identical = delta_bytes == want && stream_bytes == want;
     all_identical = all_identical && row.output_identical;
     std::cout << std::left << std::setw(16) << row.name << std::right
@@ -235,6 +266,10 @@ int Run(const std::string& specs_dir, const std::string& json_path,
            << r.stream_seconds << ",\n"
            << "      \"stream_rows_per_sec\": " << std::setprecision(1)
            << r.stream_rows_per_sec << ",\n"
+           << "      \"latency\": {\n";
+      WriteLatencyJson(json, "repair_tuple_ns", r.repair_tuple, ",");
+      WriteLatencyJson(json, "queue_push_wait_ns", r.queue_push_wait, "");
+      json << "      },\n"
            << "      \"output_identical\": "
            << (r.output_identical ? "true" : "false") << "\n    }"
            << (i + 1 < rows.size() ? "," : "") << "\n";
@@ -276,6 +311,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-memo") {
       use_memo = false;
+    } else if (arg == "--no-telemetry") {
+      certfix::telemetry::SetEnabled(false);
     }
   }
   return certfix::bench::Run(specs_dir, json_path, threads, scale_deltas,

@@ -5,6 +5,8 @@
 #include "analysis/analyzer.h"
 #include "core/repair_memo.h"
 #include "core/repair_tuple.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/thread_pool.h"
 
 namespace certfix {
@@ -20,6 +22,7 @@ void BatchRepair::RepairRange(const Relation& data, AttrSet trusted,
                               AttrSet all, size_t begin, size_t end,
                               const PoolPtr& local_pool,
                               ShardResult* out) const {
+  CERTFIX_SPAN("batch.shard_repair");
   // One bridge for the whole range: every row's cells live in the same
   // pool (the shard-local one, or the input's on the sequential path), so
   // each distinct value is hashed into master-pool id space once.
@@ -105,6 +108,7 @@ BatchRepairResult BatchRepair::Repair(const Relation& data,
                               &shards[chunk]);
                 });
   }
+  CERTFIX_SPAN("batch.merge");
   for (ShardResult& s : shards) {
     result.tuples_fully_covered += s.fully_covered;
     result.tuples_partial += s.partial;
@@ -122,6 +126,17 @@ BatchRepairResult BatchRepair::Repair(const Relation& data,
       result.repaired.SetRow(row, fixed);
     }
   }
+  // Fold run totals into the registry so `--metrics-json` mirrors the
+  // result struct without threading a handle through the shard workers.
+  telemetry::Registry* reg = telemetry::Registry::Global();
+  reg->GetCounter("batch.rows")->Add(data.size());
+  reg->GetCounter("batch.fully_covered")->Add(result.tuples_fully_covered);
+  reg->GetCounter("batch.partial")->Add(result.tuples_partial);
+  reg->GetCounter("batch.untouched")->Add(result.tuples_untouched);
+  reg->GetCounter("batch.conflicting")->Add(result.tuples_conflicting);
+  reg->GetCounter("batch.cells_changed")->Add(result.cells_changed);
+  reg->GetCounter("batch.memo_hits")->Add(result.memo_hits);
+  reg->GetCounter("batch.memo_misses")->Add(result.memo_misses);
   return result;
 }
 

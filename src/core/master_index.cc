@@ -3,6 +3,8 @@
 #include <memory>
 #include <unordered_set>
 
+#include "telemetry/metrics.h"
+
 namespace certfix {
 
 const MasterIndex::RhsSummary MasterIndex::kEmptySummary;
@@ -203,6 +205,9 @@ void MasterIndex::PrefetchRhsProbes(const Tuple& t,
                                     const std::vector<size_t>& rule_idxs,
                                     PoolBridge* bridge) const {
   if (kind_ != IndexKind::kFlat) return;
+  // One probe batch = all round-1 probes staged for a single tuple.
+  telemetry::ScopedLatency latency(
+      CERTFIX_TL_HISTOGRAM("master_probe_batch_ns"));
   thread_local IdKey key;
   for (size_t rule_idx : rule_idxs) {
     if (probe_[rule_idx].empty()) continue;

@@ -1,6 +1,7 @@
 #include "core/repair_tuple.h"
 
 #include "core/repair_memo.h"
+#include "telemetry/metrics.h"
 
 namespace certfix {
 
@@ -8,6 +9,8 @@ TupleRepair RepairOneTuple(const Saturator& sat, const Tuple& row,
                            AttrSet trusted, AttrSet all,
                            PoolBridge* bridge, ProbeLog* probes,
                            RepairMemo* memo) {
+  // Per-tuple latency across every engine, memo-hit path included.
+  telemetry::ScopedLatency latency(CERTFIX_TL_HISTOGRAM("repair_tuple_ns"));
   if (memo != nullptr) {
     if (const RepairMemo::Entry* entry = memo->Find(row)) {
       if (probes != nullptr) {

@@ -4,6 +4,7 @@
 
 #include "analysis/analyzer.h"
 #include "core/repair_memo.h"
+#include "telemetry/trace.h"
 #include "util/thread_pool.h"
 
 namespace certfix {
@@ -14,6 +15,62 @@ namespace {
 /// are prefetched together before any repair runs.
 constexpr size_t kProbeBlock = 32;
 }  // namespace
+
+DeltaMetrics::DeltaMetrics() {
+  telemetry::Registry* reg = telemetry::Registry::Global();
+  deltas_applied = reg->GetCounter("delta.deltas_applied");
+  tuples_repaired = reg->GetCounter("delta.tuples_repaired");
+  tuples_invalidated = reg->GetCounter("delta.tuples_invalidated");
+  master_rebuilds = reg->GetCounter("delta.master_rebuilds");
+  noop_updates = reg->GetCounter("delta.noop_updates");
+  memo_hits = reg->GetCounter("delta.memo_hits");
+  memo_misses = reg->GetCounter("delta.memo_misses");
+  pool_recycles = reg->GetCounter("delta.pool_recycles");
+  fully_covered = reg->GetGauge("delta.fully_covered");
+  partial = reg->GetGauge("delta.partial");
+  untouched = reg->GetGauge("delta.untouched");
+  conflicting = reg->GetGauge("delta.conflicting");
+  cells_changed = reg->GetGauge("delta.cells_changed");
+  max_reorder_global = reg->GetMaxGauge("delta.max_reorder");
+  baseline.deltas_applied = deltas_applied->Value();
+  baseline.tuples_repaired = tuples_repaired->Value();
+  baseline.tuples_invalidated = tuples_invalidated->Value();
+  baseline.master_rebuilds = master_rebuilds->Value();
+  baseline.noop_updates = noop_updates->Value();
+  baseline.memo_hits = memo_hits->Value();
+  baseline.memo_misses = memo_misses->Value();
+  baseline.pool_recycles = pool_recycles->Value();
+  baseline.fully_covered = static_cast<uint64_t>(fully_covered->Value());
+  baseline.partial = static_cast<uint64_t>(partial->Value());
+  baseline.untouched = static_cast<uint64_t>(untouched->Value());
+  baseline.conflicting = static_cast<uint64_t>(conflicting->Value());
+  baseline.cells_changed = static_cast<uint64_t>(cells_changed->Value());
+}
+
+DeltaRepairStats DeltaMetrics::Snapshot(uint64_t rows) const {
+  DeltaRepairStats s;
+  s.deltas_applied = deltas_applied->Value() - baseline.deltas_applied;
+  s.tuples_repaired = tuples_repaired->Value() - baseline.tuples_repaired;
+  s.tuples_invalidated =
+      tuples_invalidated->Value() - baseline.tuples_invalidated;
+  s.master_rebuilds = master_rebuilds->Value() - baseline.master_rebuilds;
+  s.noop_updates = noop_updates->Value() - baseline.noop_updates;
+  s.rows = rows;
+  s.fully_covered =
+      static_cast<uint64_t>(fully_covered->Value()) - baseline.fully_covered;
+  s.partial = static_cast<uint64_t>(partial->Value()) - baseline.partial;
+  s.untouched =
+      static_cast<uint64_t>(untouched->Value()) - baseline.untouched;
+  s.conflicting =
+      static_cast<uint64_t>(conflicting->Value()) - baseline.conflicting;
+  s.cells_changed =
+      static_cast<uint64_t>(cells_changed->Value()) - baseline.cells_changed;
+  s.memo_hits = memo_hits->Value() - baseline.memo_hits;
+  s.memo_misses = memo_misses->Value() - baseline.memo_misses;
+  s.max_reorder = max_reorder.Value();
+  s.pool_recycles = pool_recycles->Value() - baseline.pool_recycles;
+  return s;
+}
 
 DeltaRepairEngine::DeltaRepairEngine(const RuleSet& rules,
                                      const Relation& master, AttrSet trusted,
@@ -127,7 +184,8 @@ bool DeltaRepairEngine::Admit(uint64_t* seq) {
 }
 
 Status DeltaRepairEngine::EnqueueRepair(uint32_t slot) {
-  ++stats_.tuples_repaired;
+  CERTFIX_SPAN("delta.ingest");
+  metrics_.tuples_repaired->Increment();
   Job job;
   job.slot = slot;
   job.epoch = sat_epoch_;
@@ -176,6 +234,7 @@ void DeltaRepairEngine::ApplyMemoFlush(RepairMemo* memo,
 }
 
 void DeltaRepairEngine::RepairInline(const Job& job) {
+  CERTFIX_SPAN("delta.shard_repair");
   if (options_.use_memo && local_memo_ == nullptr) {
     local_memo_ = std::make_unique<RepairMemo>(*rules_, trusted_);
   }
@@ -196,6 +255,7 @@ void DeltaRepairEngine::RepairInline(const Job& job) {
     local_bridge_ = std::make_unique<PoolBridge>(
         local_pool_.get(), job.sat->index().pool().get());
     if (local_memo_ != nullptr) local_memo_->Clear();
+    metrics_.pool_recycles->Increment();
   }
   Tuple row(schema_, local_pool_);
   for (size_t a = 0; a < job.values.size(); ++a) {
@@ -240,6 +300,7 @@ void DeltaRepairEngine::WorkerLoop(size_t shard) {
     batch.reserve(kProbeBlock);
     rows.reserve(kProbeBlock);
     while (queues_[shard]->PopBatch(&batch, kProbeBlock) > 0) {
+      CERTFIX_SPAN("delta.shard_repair");
       // Master deltas drain the pipeline before the epoch advances, so a
       // ring never holds jobs of two epochs at once — one check covers
       // the whole batch.
@@ -264,6 +325,7 @@ void DeltaRepairEngine::WorkerLoop(size_t shard) {
         bridge = std::make_unique<PoolBridge>(pool.get(),
                                               sat.index().pool().get());
         if (memo != nullptr) memo->Clear();
+        metrics_.pool_recycles->Increment();
       }
       // Stage: materialize the batch's rows, prefetching each row's memo
       // bucket and round-1 value-summary buckets...
@@ -310,8 +372,10 @@ void DeltaRepairEngine::WorkerLoop(size_t shard) {
 }
 
 void DeltaRepairEngine::ApplyOrdered(Done done) {
+  CERTFIX_SPAN("delta.merge");
   std::unique_lock<std::mutex> lock(merge_mutex_);
   pending_.emplace(done.seq, std::move(done));
+  metrics_.NoteReorderDepth(pending_.size());
   uint64_t applied = 0;
   while (!pending_.empty() && pending_.begin()->first == next_apply_) {
     Done d = std::move(pending_.begin()->second);
@@ -329,16 +393,16 @@ void DeltaRepairEngine::ApplyOrdered(Done done) {
 void DeltaRepairEngine::AddClass(uint8_t cls, int delta) {
   switch (static_cast<FixClass>(cls)) {
     case FixClass::kFullyCovered:
-      stats_.fully_covered += delta;
+      metrics_.fully_covered->Add(delta);
       break;
     case FixClass::kPartial:
-      stats_.partial += delta;
+      metrics_.partial->Add(delta);
       break;
     case FixClass::kUntouched:
-      stats_.untouched += delta;
+      metrics_.untouched->Add(delta);
       break;
     case FixClass::kConflicting:
-      stats_.conflicting += delta;
+      metrics_.conflicting->Add(delta);
       break;
   }
 }
@@ -358,8 +422,8 @@ void DeltaRepairEngine::ApplyResult(Done& d) {
   uint32_t slot = d.slot;
   // Memo tallies count every finished repair, even one whose slot died
   // in flight — they measure saturation work saved, not live state.
-  if (d.memo == 1) ++stats_.memo_hits;
-  if (d.memo == 0) ++stats_.memo_misses;
+  if (d.memo == 1) metrics_.memo_hits->Increment();
+  if (d.memo == 0) metrics_.memo_misses->Increment();
   if (slot_class_[slot] == kDeadClass) {
     return;  // deleted while the repair was in flight
   }
@@ -380,8 +444,8 @@ void DeltaRepairEngine::ApplyResult(Done& d) {
   if (slot_class_[slot] != kPendingClass) AddClass(slot_class_[slot], -1);
   slot_class_[slot] = static_cast<uint8_t>(d.report.kind);
   AddClass(slot_class_[slot], +1);
-  cells_changed_total_ +=
-      static_cast<int64_t>(d.report.cells_changed) - slot_cells_[slot];
+  metrics_.cells_changed->Add(static_cast<int64_t>(d.report.cells_changed) -
+                              slot_cells_[slot]);
   slot_cells_[slot] = static_cast<uint32_t>(d.report.cells_changed);
 }
 
@@ -422,12 +486,13 @@ void DeltaRepairEngine::Flush() {
 
 Status DeltaRepairEngine::EnsureIndexFresh() {
   if (!index_stale_) return Status::OK();
+  CERTFIX_SPAN("delta.rebuild");
   // A master delta staled the index. The pipeline is already quiescent
   // (master mutations drain it), so no worker can be probing the old one.
   index_ = std::make_unique<MasterIndex>(*rules_, master_, options_.index_kind);
   sat_ = std::make_unique<Saturator>(*rules_, master_, *index_);
   ++sat_epoch_;
-  ++stats_.master_rebuilds;
+  metrics_.master_rebuilds->Increment();
   index_stale_ = false;
   if (options_.use_memo) {
     // Publish this epoch's memo invalidation. A node exists for every
@@ -454,7 +519,7 @@ Status DeltaRepairEngine::EnsureIndexFresh() {
   }
   std::vector<uint32_t> dirty(dirty_slots_.begin(), dirty_slots_.end());
   dirty_slots_.clear();
-  stats_.tuples_invalidated += dirty.size();
+  metrics_.tuples_invalidated->Add(dirty.size());
   for (uint32_t slot : dirty) {
     CERTFIX_RETURN_IF_ERROR(EnqueueRepair(slot));
   }
@@ -475,7 +540,7 @@ Status DeltaRepairEngine::Insert(const Tuple& t) {
     slot_cells_.push_back(0);
   }
   order_.push_back(slot);
-  ++stats_.deltas_applied;
+  metrics_.deltas_applied->Increment();
   return EnqueueRepair(slot);
 }
 
@@ -492,11 +557,11 @@ Status DeltaRepairEngine::Update(size_t pos, const Tuple& t) {
   CERTFIX_RETURN_IF_ERROR(EnsureIndexFresh());
   uint32_t slot = order_[pos];
   AttrSet changed = input_.UpdateRow(slot, t);
-  ++stats_.deltas_applied;
+  metrics_.deltas_applied->Increment();
   if (changed.Empty()) {
     // Cell-level dirty tracking: the row is byte-identical, its repair is
     // still exact — nothing to invalidate.
-    ++stats_.noop_updates;
+    metrics_.noop_updates->Increment();
     return Status::OK();
   }
   return EnqueueRepair(slot);
@@ -516,11 +581,11 @@ Status DeltaRepairEngine::Delete(size_t pos) {
     std::lock_guard<std::mutex> lock(merge_mutex_);
     UnregisterProbes(slot);
     if (slot_class_[slot] != kPendingClass) AddClass(slot_class_[slot], -1);
-    cells_changed_total_ -= slot_cells_[slot];
+    metrics_.cells_changed->Add(-static_cast<int64_t>(slot_cells_[slot]));
     slot_cells_[slot] = 0;
     slot_class_[slot] = kDeadClass;
   }
-  ++stats_.deltas_applied;
+  metrics_.deltas_applied->Increment();
   return Status::OK();
 }
 
@@ -564,7 +629,7 @@ Status DeltaRepairEngine::MasterInsert(const Tuple& t) {
     InvalidateMasterRow(master_.size() - 1, every);
   }
   index_stale_ = true;
-  ++stats_.deltas_applied;
+  metrics_.deltas_applied->Increment();
   return Status::OK();
 }
 
@@ -585,9 +650,9 @@ Status DeltaRepairEngine::MasterUpdate(size_t pos, const Tuple& t) {
     AttrId attr = static_cast<AttrId>(a);
     if (master_.Cell(pos, attr) != t.at(attr)) changed.Add(attr);
   }
-  ++stats_.deltas_applied;
+  metrics_.deltas_applied->Increment();
   if (changed.Empty()) {
-    ++stats_.noop_updates;
+    metrics_.noop_updates->Increment();
     return Status::OK();
   }
   DrainPipeline();
@@ -634,7 +699,7 @@ Status DeltaRepairEngine::MasterDelete(size_t pos) {
   }
   master_ = std::move(next);
   index_stale_ = true;
-  ++stats_.deltas_applied;
+  metrics_.deltas_applied->Increment();
   return Status::OK();
 }
 
@@ -685,6 +750,7 @@ Status DeltaRepairEngine::ApplyAll(DeltaSource* source) {
 
 Relation DeltaRepairEngine::SnapshotRepaired() {
   Flush();
+  CERTFIX_SPAN("delta.sink");
   Relation out(schema_);
   out.Reserve(order_.size());
   for (uint32_t slot : order_) out.Append(repaired_.at(slot));
@@ -713,10 +779,7 @@ std::vector<size_t> DeltaRepairEngine::ConflictPositions() {
 
 DeltaRepairStats DeltaRepairEngine::stats() {
   Flush();
-  DeltaRepairStats s = stats_;
-  s.rows = order_.size();
-  s.cells_changed = static_cast<uint64_t>(cells_changed_total_);
-  return s;
+  return metrics_.Snapshot(order_.size());
 }
 
 }  // namespace certfix

@@ -66,6 +66,7 @@
 #include "core/repair_tuple.h"
 #include "stream/bounded_queue.h"
 #include "stream/delta_source.h"
+#include "telemetry/metrics.h"
 
 namespace certfix {
 
@@ -114,6 +115,46 @@ struct DeltaRepairStats {
   uint64_t cells_changed = 0;      ///< live input-vs-repaired cell diffs
   uint64_t memo_hits = 0;          ///< repairs replayed from a shard memo
   uint64_t memo_misses = 0;        ///< repairs computed (and memoized)
+  uint64_t max_reorder = 0;        ///< high-water mark of the reorder buffer
+  uint64_t pool_recycles = 0;      ///< shard pools reset (bounded memory)
+};
+
+/// \brief Registry-backed view of the delta engine's counters
+/// (telemetry/metrics.h), mirroring StreamMetrics: increments land on
+/// the process-wide `delta.*` instruments, and Snapshot() subtracts the
+/// values captured at construction so each engine instance reports its
+/// own activity. Slot-class populations and cells_changed are signed
+/// gauges (deletes and reclassifications decrement them); max_reorder
+/// is a per-instance MaxGauge mirrored into the registry's monotone
+/// `delta.max_reorder`.
+struct DeltaMetrics {
+  DeltaMetrics();
+
+  void NoteReorderDepth(uint64_t depth) {
+    max_reorder.Note(depth);
+    max_reorder_global->Note(depth);
+  }
+
+  /// Current registry values minus the construction baseline; `rows`
+  /// is supplied by the engine (order_.size() is not a counter).
+  DeltaRepairStats Snapshot(uint64_t rows) const;
+
+  telemetry::Counter* deltas_applied;
+  telemetry::Counter* tuples_repaired;
+  telemetry::Counter* tuples_invalidated;
+  telemetry::Counter* master_rebuilds;
+  telemetry::Counter* noop_updates;
+  telemetry::Counter* memo_hits;
+  telemetry::Counter* memo_misses;
+  telemetry::Counter* pool_recycles;
+  telemetry::Gauge* fully_covered;
+  telemetry::Gauge* partial;
+  telemetry::Gauge* untouched;
+  telemetry::Gauge* conflicting;
+  telemetry::Gauge* cells_changed;
+  telemetry::MaxGauge* max_reorder_global;
+  telemetry::MaxGauge max_reorder;  ///< this engine's own high-water mark
+  DeltaRepairStats baseline;        ///< registry values at construction
 };
 
 /// \brief Long-lived engine owning the repaired relation plus its
@@ -310,8 +351,7 @@ class DeltaRepairEngine {
   bool failed_ = false;
   std::exception_ptr first_error_;
 
-  DeltaRepairStats stats_;
-  int64_t cells_changed_total_ = 0;
+  DeltaMetrics metrics_;
 };
 
 }  // namespace certfix

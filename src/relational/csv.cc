@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "relational/csv_stream.h"
+#include "telemetry/metrics.h"
 #include "util/string_util.h"
 
 namespace certfix {
@@ -81,6 +82,7 @@ Result<Relation> ReadCsv(SchemaPtr schema, std::istream& in) {
                                 st.message());
     }
   }
+  CERTFIX_TL_COUNTER("csv.rows_read")->Add(rel.size());
   return rel;
 }
 

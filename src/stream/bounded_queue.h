@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace certfix {
 
 /// \brief Fixed-capacity blocking FIFO. T must be movable.
@@ -44,6 +46,9 @@ class BoundedQueue {
   /// Enqueues `item`, blocking while full. Returns false (item dropped)
   /// if the queue is closed before a slot frees up.
   bool Push(T item) {
+    // Full call duration (lock acquisition + any blocked wait): the
+    // latency a producer actually experiences per enqueue.
+    telemetry::ScopedLatency wait(CERTFIX_TL_HISTOGRAM("queue_push_wait_ns"));
     std::unique_lock<std::mutex> lock(mutex_);
     if (size_ == slots_.size() && !closed_) {
       ++blocked_pushes_;
@@ -69,6 +74,7 @@ class BoundedQueue {
   /// Dequeues into `*out`, blocking while empty and open. Returns false
   /// only when the queue is closed and fully drained.
   bool Pop(T* out) {
+    telemetry::ScopedLatency wait(CERTFIX_TL_HISTOGRAM("queue_pop_wait_ns"));
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
     if (size_ == 0) return false;  // closed and drained
@@ -86,6 +92,7 @@ class BoundedQueue {
   /// The batch-probe consumers use this: one lock acquisition hands a
   /// worker a block of tuples to stage together.
   size_t PopBatch(std::vector<T>* out, size_t max) {
+    telemetry::ScopedLatency wait(CERTFIX_TL_HISTOGRAM("queue_pop_wait_ns"));
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
     if (size_ == 0) return 0;  // closed and drained

@@ -1,18 +1,25 @@
 /// \file stream_metrics.h
-/// \brief Monitoring counters of the streaming repair engine.
+/// \brief Monitoring counters of the streaming repair engine, backed by
+/// the process-wide telemetry registry (telemetry/metrics.h).
 ///
-/// All counters are relaxed atomics: they are written from producer,
-/// shard-worker, and merge contexts and read by monitoring code at any
-/// time, but never participate in synchronization — ordering between
-/// counters is not guaranteed mid-stream. Snapshot() taken after
-/// StreamRepairEngine::Finish() is exact (Finish joins every worker).
+/// Each StreamMetrics instance is a thin view over the registry's
+/// `stream.*` instruments: increments go straight to striped registry
+/// counters (relaxed, lock-free), and Snapshot() subtracts the values
+/// captured at construction, so an instance still reports exactly what
+/// happened on *its* engine even when several engines run in one
+/// process (engines run sequentially; totals are exact once
+/// StreamRepairEngine::Finish() joins every worker). max_reorder is a
+/// high-water mark, where baseline subtraction is meaningless, so the
+/// instance keeps its own telemetry::MaxGauge and mirrors notes into
+/// the registry's monotone `stream.max_reorder`.
 
 #ifndef CERTFIX_STREAM_STREAM_METRICS_H_
 #define CERTFIX_STREAM_STREAM_METRICS_H_
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
+
+#include "telemetry/metrics.h"
 
 namespace certfix {
 
@@ -33,77 +40,94 @@ struct StreamSnapshot {
   uint64_t memo_misses = 0;     ///< repairs computed (and memoized)
 };
 
-/// \brief Live atomic counters; copyable only via Snapshot().
+/// \brief Live engine counters; copyable only via Snapshot(). Binds to
+/// the registry that is Global() at construction — construct the
+/// engine inside any ScopedRegistry it should report to.
 class StreamMetrics {
  public:
-  void CountIn() { tuples_in_.fetch_add(1, std::memory_order_relaxed); }
-  void CountOut() { tuples_out_.fetch_add(1, std::memory_order_relaxed); }
-  void CountFullyCovered() {
-    fully_covered_.fetch_add(1, std::memory_order_relaxed);
+  StreamMetrics() {
+    telemetry::Registry* reg = telemetry::Registry::Global();
+    tuples_in_ = reg->GetCounter("stream.tuples_in");
+    tuples_out_ = reg->GetCounter("stream.tuples_out");
+    fully_covered_ = reg->GetCounter("stream.fully_covered");
+    partial_ = reg->GetCounter("stream.partial");
+    untouched_ = reg->GetCounter("stream.untouched");
+    conflicting_ = reg->GetCounter("stream.conflicting");
+    cells_changed_ = reg->GetCounter("stream.cells_changed");
+    backpressure_waits_ = reg->GetCounter("stream.backpressure_waits");
+    pool_recycles_ = reg->GetCounter("stream.pool_recycles");
+    memo_hits_ = reg->GetCounter("stream.memo_hits");
+    memo_misses_ = reg->GetCounter("stream.memo_misses");
+    max_reorder_global_ = reg->GetMaxGauge("stream.max_reorder");
+    baseline_.tuples_in = tuples_in_->Value();
+    baseline_.tuples_out = tuples_out_->Value();
+    baseline_.fully_covered = fully_covered_->Value();
+    baseline_.partial = partial_->Value();
+    baseline_.untouched = untouched_->Value();
+    baseline_.conflicting = conflicting_->Value();
+    baseline_.cells_changed = cells_changed_->Value();
+    baseline_.backpressure_waits = backpressure_waits_->Value();
+    baseline_.pool_recycles = pool_recycles_->Value();
+    baseline_.memo_hits = memo_hits_->Value();
+    baseline_.memo_misses = memo_misses_->Value();
   }
-  void CountPartial() { partial_.fetch_add(1, std::memory_order_relaxed); }
-  void CountUntouched() { untouched_.fetch_add(1, std::memory_order_relaxed); }
-  void CountConflicting() {
-    conflicting_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void CountCellsChanged(uint64_t n) {
-    cells_changed_.fetch_add(n, std::memory_order_relaxed);
-  }
-  void CountBackpressureWait() {
-    backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
-  }
+
+  void CountIn() { tuples_in_->Increment(); }
+  void CountOut() { tuples_out_->Increment(); }
+  void CountFullyCovered() { fully_covered_->Increment(); }
+  void CountPartial() { partial_->Increment(); }
+  void CountUntouched() { untouched_->Increment(); }
+  void CountConflicting() { conflicting_->Increment(); }
+  void CountCellsChanged(uint64_t n) { cells_changed_->Add(n); }
+  void CountBackpressureWait() { backpressure_waits_->Increment(); }
   /// Folds in waits counted elsewhere (the per-ring blocked-push tallies
   /// are merged here once the stream finishes).
-  void AddBackpressureWaits(uint64_t n) {
-    backpressure_waits_.fetch_add(n, std::memory_order_relaxed);
-  }
-  void CountPoolRecycle() {
-    pool_recycles_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void AddBackpressureWaits(uint64_t n) { backpressure_waits_->Add(n); }
+  void CountPoolRecycle() { pool_recycles_->Increment(); }
   /// Folds in a shard memo's hit/miss tallies (workers add them when
   /// their loop drains, so totals are exact after Finish).
   void AddMemoCounts(uint64_t hits, uint64_t misses) {
-    memo_hits_.fetch_add(hits, std::memory_order_relaxed);
-    memo_misses_.fetch_add(misses, std::memory_order_relaxed);
+    memo_hits_->Add(hits);
+    memo_misses_->Add(misses);
   }
   void NoteReorderDepth(uint64_t depth) {
-    uint64_t seen = max_reorder_.load(std::memory_order_relaxed);
-    while (depth > seen && !max_reorder_.compare_exchange_weak(
-                               seen, depth, std::memory_order_relaxed)) {
-    }
+    max_reorder_.Note(depth);
+    max_reorder_global_->Note(depth);
   }
 
   StreamSnapshot Snapshot() const {
     StreamSnapshot s;
-    s.tuples_in = tuples_in_.load(std::memory_order_relaxed);
-    s.tuples_out = tuples_out_.load(std::memory_order_relaxed);
-    s.fully_covered = fully_covered_.load(std::memory_order_relaxed);
-    s.partial = partial_.load(std::memory_order_relaxed);
-    s.untouched = untouched_.load(std::memory_order_relaxed);
-    s.conflicting = conflicting_.load(std::memory_order_relaxed);
-    s.cells_changed = cells_changed_.load(std::memory_order_relaxed);
+    s.tuples_in = tuples_in_->Value() - baseline_.tuples_in;
+    s.tuples_out = tuples_out_->Value() - baseline_.tuples_out;
+    s.fully_covered = fully_covered_->Value() - baseline_.fully_covered;
+    s.partial = partial_->Value() - baseline_.partial;
+    s.untouched = untouched_->Value() - baseline_.untouched;
+    s.conflicting = conflicting_->Value() - baseline_.conflicting;
+    s.cells_changed = cells_changed_->Value() - baseline_.cells_changed;
     s.backpressure_waits =
-        backpressure_waits_.load(std::memory_order_relaxed);
-    s.pool_recycles = pool_recycles_.load(std::memory_order_relaxed);
-    s.max_reorder = max_reorder_.load(std::memory_order_relaxed);
-    s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
-    s.memo_misses = memo_misses_.load(std::memory_order_relaxed);
+        backpressure_waits_->Value() - baseline_.backpressure_waits;
+    s.pool_recycles = pool_recycles_->Value() - baseline_.pool_recycles;
+    s.max_reorder = max_reorder_.Value();
+    s.memo_hits = memo_hits_->Value() - baseline_.memo_hits;
+    s.memo_misses = memo_misses_->Value() - baseline_.memo_misses;
     return s;
   }
 
  private:
-  std::atomic<uint64_t> tuples_in_{0};
-  std::atomic<uint64_t> tuples_out_{0};
-  std::atomic<uint64_t> fully_covered_{0};
-  std::atomic<uint64_t> partial_{0};
-  std::atomic<uint64_t> untouched_{0};
-  std::atomic<uint64_t> conflicting_{0};
-  std::atomic<uint64_t> cells_changed_{0};
-  std::atomic<uint64_t> backpressure_waits_{0};
-  std::atomic<uint64_t> pool_recycles_{0};
-  std::atomic<uint64_t> max_reorder_{0};
-  std::atomic<uint64_t> memo_hits_{0};
-  std::atomic<uint64_t> memo_misses_{0};
+  telemetry::Counter* tuples_in_;
+  telemetry::Counter* tuples_out_;
+  telemetry::Counter* fully_covered_;
+  telemetry::Counter* partial_;
+  telemetry::Counter* untouched_;
+  telemetry::Counter* conflicting_;
+  telemetry::Counter* cells_changed_;
+  telemetry::Counter* backpressure_waits_;
+  telemetry::Counter* pool_recycles_;
+  telemetry::Counter* memo_hits_;
+  telemetry::Counter* memo_misses_;
+  telemetry::MaxGauge* max_reorder_global_;
+  telemetry::MaxGauge max_reorder_;  ///< this engine's own high-water mark
+  StreamSnapshot baseline_;  ///< registry values at construction
 };
 
 }  // namespace certfix

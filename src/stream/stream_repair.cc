@@ -5,6 +5,7 @@
 
 #include "analysis/analyzer.h"
 #include "core/repair_memo.h"
+#include "telemetry/trace.h"
 #include "util/thread_pool.h"
 
 namespace certfix {
@@ -110,6 +111,7 @@ bool StreamRepairEngine::Admit(uint64_t* seq) {
 }
 
 bool StreamRepairEngine::PushItem(Item item) {
+  CERTFIX_SPAN("stream.ingest");
   if (!Admit(&item.seq)) return false;
   size_t shard = RouteShard(item.values, item.seq);
   if (!queues_[shard]->Push(std::move(item))) {
@@ -169,6 +171,7 @@ void StreamRepairEngine::ShardLoop(size_t shard) {
     batch.reserve(kProbeBlock);
     rows.reserve(kProbeBlock);
     while (queues_[shard]->PopBatch(&batch, kProbeBlock) > 0) {
+      CERTFIX_SPAN("stream.shard_repair");
       // The recycle check runs once per batch, before any row is built:
       // a mid-batch reset would mix pools within one staged block. The
       // budget may overshoot by at most one batch of values.
@@ -226,6 +229,7 @@ void StreamRepairEngine::ShardLoop(size_t shard) {
 }
 
 void StreamRepairEngine::EmitOrdered(StreamRecord record) {
+  CERTFIX_SPAN("stream.merge");
   std::unique_lock<std::mutex> lock(merge_mutex_);
   uint64_t seq = record.seq;
   pending_.emplace(seq, std::move(record));
@@ -234,7 +238,10 @@ void StreamRepairEngine::EmitOrdered(StreamRecord record) {
   while (!pending_.empty() && pending_.begin()->first == next_emit_) {
     StreamRecord r = std::move(pending_.begin()->second);
     pending_.erase(pending_.begin());
-    sink_->Emit(r);
+    {
+      CERTFIX_SPAN("stream.sink");
+      sink_->Emit(r);
+    }
     metrics_.CountOut();
     metrics_.CountCellsChanged(r.report.cells_changed);
     switch (r.report.kind) {

@@ -1,0 +1,39 @@
+#include "telemetry/clock.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+namespace certfix {
+namespace telemetry {
+
+namespace {
+bool InitFake() {
+  const char* env = std::getenv("CERTFIX_FAKE_CLOCK");
+  return env != nullptr && env[0] != '\0';
+}
+std::atomic<bool> g_fake{InitFake()};
+}  // namespace
+
+uint64_t NowNanos() {
+  if (g_fake.load(std::memory_order_relaxed)) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool UsingFakeClock() { return g_fake.load(std::memory_order_relaxed); }
+
+void SetFakeClock(bool fake) {
+  g_fake.store(fake, std::memory_order_relaxed);
+}
+
+ScopedFakeClock::ScopedFakeClock(bool fake) : prev_(UsingFakeClock()) {
+  SetFakeClock(fake);
+}
+
+ScopedFakeClock::~ScopedFakeClock() { SetFakeClock(prev_); }
+
+}  // namespace telemetry
+}  // namespace certfix

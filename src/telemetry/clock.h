@@ -1,0 +1,43 @@
+/// \file clock.h
+/// \brief Monotonic nanosecond clock with an injectable fake for
+/// deterministic output.
+///
+/// All telemetry timing flows through NowNanos() so one switch turns
+/// every duration and span timestamp into 0: `--metrics-deterministic`
+/// on the CLI (or the CERTFIX_FAKE_CLOCK env var) pins metrics JSON and
+/// trace files byte-for-byte for golden tests, while counters — which
+/// never consult the clock — stay exact.
+
+#ifndef CERTFIX_TELEMETRY_CLOCK_H_
+#define CERTFIX_TELEMETRY_CLOCK_H_
+
+#include <cstdint>
+
+namespace certfix {
+namespace telemetry {
+
+/// Nanoseconds on the process steady clock, or 0 under the fake clock.
+uint64_t NowNanos();
+
+/// True when timing is faked (every NowNanos() returns 0). Initialized
+/// from the CERTFIX_FAKE_CLOCK env var (any non-empty value).
+bool UsingFakeClock();
+void SetFakeClock(bool fake);
+
+/// RAII fake-clock override for CLI commands and tests; restores the
+/// previous setting on destruction.
+class ScopedFakeClock {
+ public:
+  explicit ScopedFakeClock(bool fake);
+  ~ScopedFakeClock();
+  ScopedFakeClock(const ScopedFakeClock&) = delete;
+  ScopedFakeClock& operator=(const ScopedFakeClock&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace telemetry
+}  // namespace certfix
+
+#endif  // CERTFIX_TELEMETRY_CLOCK_H_

@@ -1,0 +1,166 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace certfix {
+namespace telemetry {
+
+size_t ThreadStripeIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return idx;
+}
+
+size_t Histogram::BucketOf(uint64_t v) {
+  if (v < 4) return static_cast<size_t>(v);
+  const int m = 63 - __builtin_clzll(v);
+  const size_t sub = static_cast<size_t>((v >> (m - 2)) & 3);
+  return static_cast<size_t>(4 * (m - 1)) + sub;
+}
+
+uint64_t Histogram::BucketUpper(size_t idx) {
+  if (idx < 4) return idx;
+  const int m = static_cast<int>(idx / 4) + 1;
+  const uint64_t sub = idx % 4;
+  const uint64_t width = uint64_t{1} << (m - 2);
+  const uint64_t lower = (4 + sub) << (m - 2);
+  return lower + (width - 1);
+}
+
+namespace {
+/// Nearest-rank percentile over folded buckets, clamped to the observed
+/// max so a sparse top bucket cannot report past the largest sample.
+uint64_t PercentileFromBuckets(const std::array<uint64_t, Histogram::kBuckets>&
+                                   buckets,
+                               uint64_t count, uint64_t max, double q) {
+  if (count == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    cum += buckets[i];
+    if (cum >= rank) {
+      const uint64_t upper = Histogram::BucketUpper(i);
+      return upper < max ? upper : max;
+    }
+  }
+  return max;
+}
+}  // namespace
+
+HistogramSnapshot Histogram::Snap() const {
+  std::array<uint64_t, kBuckets> folded{};
+  HistogramSnapshot snap;
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      const uint64_t n = s.buckets[i].load(std::memory_order_relaxed);
+      folded[i] += n;
+      snap.count += n;
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    const uint64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > snap.max) snap.max = m;
+  }
+  snap.p50 = PercentileFromBuckets(folded, snap.count, snap.max, 0.50);
+  snap.p90 = PercentileFromBuckets(folded, snap.count, snap.max, 0.90);
+  snap.p99 = PercentileFromBuckets(folded, snap.count, snap.max, 0.99);
+  return snap;
+}
+
+namespace {
+Registry* DefaultRegistry() {
+  static Registry* r = new Registry();  // leaked: outlives all threads
+  return r;
+}
+std::atomic<Registry*> g_global{nullptr};
+std::atomic<uint64_t> g_generation{0};
+std::atomic<bool> g_enabled{true};
+
+template <typename T>
+T* GetOrCreate(std::mutex& mu, std::map<std::string, std::unique_ptr<T>>& map,
+               const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<T>& slot = map[name];
+  if (slot == nullptr) slot = std::make_unique<T>();
+  return slot.get();
+}
+}  // namespace
+
+Counter* Registry::GetCounter(const std::string& name) {
+  return GetOrCreate(mu_, counters_, name);
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  return GetOrCreate(mu_, gauges_, name);
+}
+
+MaxGauge* Registry::GetMaxGauge(const std::string& name) {
+  return GetOrCreate(mu_, max_gauges_, name);
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  return GetOrCreate(mu_, histograms_, name);
+}
+
+Registry* Registry::Global() {
+  Registry* r = g_global.load(std::memory_order_seq_cst);
+  return r != nullptr ? r : DefaultRegistry();
+}
+
+Registry* Registry::SetGlobal(Registry* r) {
+  // Pointer first, generation second: a handle that observes the new
+  // generation is then guaranteed to also observe the new pointer
+  // (metrics.h, internal::Handle).
+  Registry* prev = g_global.exchange(r, std::memory_order_seq_cst);
+  g_generation.fetch_add(1, std::memory_order_seq_cst);
+  return prev;
+}
+
+uint64_t Registry::Generation() {
+  return g_generation.load(std::memory_order_seq_cst);
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n";
+  auto section = [&out](const char* title, auto& map, auto&& emit,
+                        bool last) {
+    out << "  \"" << title << "\": {";
+    bool first = true;
+    for (const auto& [name, instrument] : map) {
+      out << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+      emit(*instrument);
+      first = false;
+    }
+    out << (first ? "}" : "\n  }") << (last ? "\n" : ",\n");
+  };
+  section("counters", counters_,
+          [&out](const Counter& c) { out << c.Value(); }, false);
+  section("gauges", gauges_, [&out](const Gauge& g) { out << g.Value(); },
+          false);
+  section("histograms", histograms_,
+          [&out](const Histogram& h) {
+            const HistogramSnapshot s = h.Snap();
+            out << "{\"count\": " << s.count << ", \"max\": " << s.max
+                << ", \"p50\": " << s.p50 << ", \"p90\": " << s.p90
+                << ", \"p99\": " << s.p99 << ", \"sum\": " << s.sum << "}";
+          },
+          false);
+  section("max_gauges", max_gauges_,
+          [&out](const MaxGauge& m) { out << m.Value(); }, true);
+  out << "}\n";
+  return out.str();
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace telemetry
+}  // namespace certfix

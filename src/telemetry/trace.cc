@@ -1,0 +1,121 @@
+#include "telemetry/trace.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "telemetry/clock.h"
+
+namespace certfix {
+namespace telemetry {
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all threads
+  return *tracer;
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  logs_.clear();
+  capacity_ = capacity;
+  // Bump the generation before turning recording on: threads holding a
+  // cached log from a previous run re-register before their next span.
+  generation_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+Tracer::ThreadLog* Tracer::CurrentThreadLog() {
+  // The shared_ptr keeps a superseded log alive until this thread
+  // re-registers, so a stale cache can never dangle.
+  struct Cache {
+    uint64_t gen = ~uint64_t{0};
+    std::shared_ptr<ThreadLog> log;
+  };
+  thread_local Cache cache;
+  const uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (cache.gen != gen || cache.log == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto log = std::make_shared<ThreadLog>(
+        static_cast<uint32_t>(logs_.size() + 1), capacity_);
+    logs_.push_back(log);
+    cache.log = std::move(log);
+    cache.gen = gen;
+  }
+  return cache.log.get();
+}
+
+uint64_t Tracer::dropped() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& log : logs_) total += log->dropped;
+  return total;
+}
+
+std::string Tracer::ExportJson() {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    logs = logs_;
+  }
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& log : logs) {
+    const size_t n = log->size.load(std::memory_order_acquire);
+    // Spans still open at export time have a B but no E yet; mark their
+    // B events and skip them so the emitted stream is well-formed.
+    std::vector<char> skip(n, 0);
+    std::vector<size_t> open;
+    for (size_t i = 0; i < n; ++i) {
+      if (log->events[i].phase == 'B') {
+        open.push_back(i);
+      } else if (!open.empty()) {
+        open.pop_back();
+      }
+    }
+    for (size_t i : open) skip[i] = 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (skip[i] != 0) continue;
+      const Event& e = log->events[i];
+      out << (first ? "" : ",\n") << "  {\"name\": \"" << e.name
+          << "\", \"cat\": \"certfix\", \"ph\": \"" << e.phase
+          << "\", \"ts\": " << e.ts_ns / 1000 << '.' << std::setw(3)
+          << std::setfill('0') << e.ts_ns % 1000 << std::setfill(' ')
+          << ", \"pid\": 1, \"tid\": " << log->tid << "}";
+      first = false;
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Span::Span(const char* name) : log_(nullptr), name_(name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  Tracer::ThreadLog* log = tracer.CurrentThreadLog();
+  const size_t size = log->size.load(std::memory_order_relaxed);
+  // Room for this B *and* its future E, plus every E already owed to
+  // open outer spans — a full buffer drops whole spans, never half.
+  if (size + log->reserved + 2 > log->events.size()) {
+    ++log->dropped;
+    return;
+  }
+  log->events[size] = {name, NowNanos(), 'B'};
+  log->size.store(size + 1, std::memory_order_release);
+  ++log->reserved;
+  log_ = log;
+}
+
+Span::~Span() {
+  if (log_ == nullptr) return;
+  const size_t size = log_->size.load(std::memory_order_relaxed);
+  log_->events[size] = {name_, NowNanos(), 'E'};
+  log_->size.store(size + 1, std::memory_order_release);
+  --log_->reserved;
+}
+
+}  // namespace telemetry
+}  // namespace certfix

@@ -1,0 +1,115 @@
+/// \file trace.h
+/// \brief Lightweight span tracer: RAII scopes recorded into per-thread
+/// ring buffers, exported as Chrome / Perfetto trace-event JSON.
+///
+/// Off by default: CERTFIX_SPAN costs one relaxed load when tracing is
+/// disabled. When enabled (CLI `--trace-out`), a span records a begin
+/// ("B") event at construction and an end ("E") event at destruction —
+/// name pointer, steady-clock nanoseconds, nothing else — into a
+/// preallocated per-thread buffer; no locks, no allocation on the hot
+/// path.
+///
+/// B/E pairing is guaranteed by a reservation scheme: a span records
+/// its B only if the buffer has room for both the B and its future E
+/// (the E slot is reserved at B time), so a full buffer drops whole
+/// spans — counted in dropped() — never half of one. ExportJson() skips
+/// still-open spans, so the exported stream is always well-formed.
+///
+/// Span names must be string literals (the tracer stores the pointer).
+///
+/// Enable() resets all buffers and must not race live spans: call it
+/// before the traced engines spawn workers, export after they join.
+
+#ifndef CERTFIX_TELEMETRY_TRACE_H_
+#define CERTFIX_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace certfix {
+namespace telemetry {
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 15;  ///< events/thread
+
+  static Tracer& Global();
+
+  /// Clears all thread buffers and starts recording. `capacity` is the
+  /// per-thread event budget (a span consumes two events).
+  void Enable(size_t capacity = kDefaultCapacity);
+  void Disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}): one B and one E
+  /// per completed span, timestamps in microseconds, tid = registration
+  /// order of the recording thread. Loadable in Perfetto or
+  /// chrome://tracing.
+  std::string ExportJson();
+
+  /// Spans not recorded because a thread buffer was full.
+  uint64_t dropped();
+
+ private:
+  friend class Span;
+
+  struct Event {
+    const char* name;
+    uint64_t ts_ns;
+    char phase;  // 'B' or 'E'
+  };
+  struct ThreadLog {
+    ThreadLog(uint32_t tid_in, size_t capacity) : tid(tid_in) {
+      events.resize(capacity);
+    }
+    const uint32_t tid;
+    std::vector<Event> events;
+    /// Published event count: stored with release by the owning thread,
+    /// loaded with acquire by ExportJson, so a concurrent export sees
+    /// only fully written events.
+    std::atomic<size_t> size{0};
+    size_t reserved = 0;   ///< E slots owed by open spans (owner only)
+    uint64_t dropped = 0;  ///< whole spans skipped for space (owner only)
+  };
+
+  /// The calling thread's log for the current Enable() generation,
+  /// registering a fresh one if needed.
+  ThreadLog* CurrentThreadLog();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> generation_{0};
+  std::mutex mu_;  ///< guards logs_ and capacity_
+  std::vector<std::shared_ptr<ThreadLog>> logs_;
+  size_t capacity_ = kDefaultCapacity;
+};
+
+/// \brief RAII span: records B on construction, E on destruction, into
+/// the global tracer. `name` must be a string literal.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer::ThreadLog* log_;  ///< non-null iff the B event was recorded
+  const char* name_;
+};
+
+#define CERTFIX_SPAN_CONCAT2(a, b) a##b
+#define CERTFIX_SPAN_CONCAT(a, b) CERTFIX_SPAN_CONCAT2(a, b)
+/// Traces the enclosing scope under `name` (a string literal).
+#define CERTFIX_SPAN(name) \
+  ::certfix::telemetry::Span CERTFIX_SPAN_CONCAT(certfix_span_, __LINE__)(name)
+
+}  // namespace telemetry
+}  // namespace certfix
+
+#endif  // CERTFIX_TELEMETRY_TRACE_H_

@@ -21,6 +21,9 @@
 #include "rules/rule_parser.h"
 #include "stream/delta_source.h"
 #include "stream/stream_repair.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/string_util.h"
 #include "workload/scenario.h"
 
@@ -49,7 +52,8 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
     }
     std::string key = a.substr(2);
     if (key == "no-conditional" || key == "json" || key == "strict" ||
-        key == "no-memo") {
+        key == "no-memo" || key == "metrics-deterministic" ||
+        key == "no-telemetry") {
       out.flags[key] = "true";
       continue;
     }
@@ -73,21 +77,27 @@ void Usage(std::ostream& err) {
       << "  repair  --master M.csv --rules R.rules --input D.csv\n"
       << "          --trusted a,b [--output OUT.csv] [--threads N]\n"
       << "          [--chunk-size N] [--analyze off|warn|strict]\n"
-      << "          [--index flat|map] [--no-memo]\n"
+      << "          [--index flat|map] [--no-memo] [telemetry flags]\n"
       << "  repair-stream\n"
       << "          --master M.csv --rules R.rules --input D.csv\n"
       << "          --trusted a,b [--output OUT.csv] [--threads N]\n"
       << "          [--queue-capacity N] [--analyze off|warn|strict]\n"
-      << "          [--index flat|map] [--no-memo]\n"
+      << "          [--index flat|map] [--no-memo] [telemetry flags]\n"
       << "  repair-deltas\n"
       << "          --master M.csv --rules R.rules --input D.csv\n"
       << "          --deltas D.deltas --trusted a,b [--output OUT.csv]\n"
       << "          [--threads N] [--queue-capacity N]\n"
       << "          [--analyze off|warn|strict]\n"
-      << "          [--index flat|map] [--no-memo]\n"
+      << "          [--index flat|map] [--no-memo] [telemetry flags]\n"
       << "  workload gen\n"
       << "          --spec S.toml --out-dir DIR [--prefix NAME]\n"
-      << "          (writes NAME_master.csv, NAME_initial.csv, NAME.deltas)\n";
+      << "          (writes NAME_master.csv, NAME_initial.csv,\n"
+      << "           NAME.deltas, NAME.rules)\n"
+      << "telemetry flags (repair commands):\n"
+      << "  --metrics-json PATH       write a metrics-registry snapshot\n"
+      << "  --trace-out PATH          write a Chrome/Perfetto trace\n"
+      << "  --metrics-deterministic   zero all timings (golden-pinnable)\n"
+      << "  --no-telemetry            skip clock reads on hot paths\n";
 }
 
 /// Renders a rule in the DSL accepted by rule_parser.h.
@@ -361,6 +371,55 @@ int CmdCheck(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// Per-command telemetry scope shared by the repair commands. Gives the
+/// command a fresh registry (RunCli is called many times in-process by
+/// tests; counters must not bleed across commands), applies
+/// --metrics-deterministic / --no-telemetry, and turns the tracer on
+/// when --trace-out asks for a trace. Member order matters: the
+/// registry is declared first so it is destroyed last, after every
+/// engine that recorded into it.
+struct TelemetryScope {
+  explicit TelemetryScope(const ParsedArgs& args)
+      : fake_clock(args.flags.count("metrics-deterministic") > 0),
+        enabled(args.flags.count("no-telemetry") == 0) {
+    if (args.flags.count("trace-out") > 0) {
+      telemetry::Tracer::Global().Enable();
+    }
+  }
+  ~TelemetryScope() { telemetry::Tracer::Global().Disable(); }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  telemetry::ScopedRegistry registry;
+  telemetry::ScopedFakeClock fake_clock;
+  telemetry::ScopedEnabled enabled;
+};
+
+/// Writes --metrics-json and --trace-out files if requested. Called on
+/// every command exit path that ran the engine (a conflict exit still
+/// has metrics worth keeping). Returns 0, or 2 on a write failure.
+int DumpTelemetry(const ParsedArgs& args, std::ostream& err) {
+  if (auto it = args.flags.find("metrics-json"); it != args.flags.end()) {
+    std::ofstream out(it->second);
+    if (!out) {
+      err << Status::InvalidArgument("cannot open for write: " + it->second)
+          << "\n";
+      return 2;
+    }
+    out << telemetry::Registry::Global()->ToJson();
+  }
+  if (auto it = args.flags.find("trace-out"); it != args.flags.end()) {
+    std::ofstream out(it->second);
+    if (!out) {
+      err << Status::InvalidArgument("cannot open for write: " + it->second)
+          << "\n";
+      return 2;
+    }
+    out << telemetry::Tracer::Global().ExportJson();
+  }
+  return 0;
+}
+
 /// Setup both repair commands share: master data, rules, the input
 /// path, and the resolved trusted attribute set.
 struct RepairSetup {
@@ -406,12 +465,15 @@ int LoadRepairSetup(const ParsedArgs& args, std::ostream& err,
 
 int CmdRepair(const ParsedArgs& args, std::ostream& out,
               std::ostream& err) {
+  TelemetryScope telemetry_scope(args);
   RepairSetup setup;
   if (int code = LoadRepairSetup(args, err, &setup); code != 0) {
     return code;
   }
-  Result<Relation> input =
-      ReadCsvFile(setup.master.schema(), setup.input_path);
+  Result<Relation> input = [&] {
+    CERTFIX_SPAN("batch.ingest");
+    return ReadCsvFile(setup.master.schema(), setup.input_path);
+  }();
   if (!input.ok()) {
     err << input.status() << "\n";
     return 2;
@@ -445,6 +507,7 @@ int CmdRepair(const ParsedArgs& args, std::ostream& out,
       << "  memo misses: " << result.memo_misses << "\n";
   auto output_it = args.flags.find("output");
   if (output_it != args.flags.end()) {
+    CERTFIX_SPAN("batch.sink");
     Status st = WriteCsvFile(result.repaired, output_it->second);
     if (!st.ok()) {
       err << st << "\n";
@@ -452,11 +515,13 @@ int CmdRepair(const ParsedArgs& args, std::ostream& out,
     }
     out << "repaired relation written to " << output_it->second << "\n";
   }
+  if (int code = DumpTelemetry(args, err); code != 0) return code;
   return result.tuples_conflicting == 0 ? 0 : 2;
 }
 
 int CmdRepairStream(const ParsedArgs& args, std::ostream& out,
                     std::ostream& err) {
+  TelemetryScope telemetry_scope(args);
   RepairSetup setup;
   if (int code = LoadRepairSetup(args, err, &setup); code != 0) {
     return code;
@@ -544,11 +609,13 @@ int CmdRepairStream(const ParsedArgs& args, std::ostream& out,
   if (output_it != args.flags.end()) {
     out << "repaired relation written to " << output_it->second << "\n";
   }
+  if (int code = DumpTelemetry(args, err); code != 0) return code;
   return s.conflicting == 0 ? 0 : 2;
 }
 
 int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
                     std::ostream& err) {
+  TelemetryScope telemetry_scope(args);
   RepairSetup setup;
   if (int code = LoadRepairSetup(args, err, &setup); code != 0) {
     return code;
@@ -623,6 +690,7 @@ int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
     }
     out << "repaired relation written to " << output_it->second << "\n";
   }
+  if (int code = DumpTelemetry(args, err); code != 0) return code;
   return stats.conflicting == 0 ? 0 : 2;
 }
 
@@ -677,6 +745,18 @@ int CmdWorkloadGen(const ParsedArgs& args, std::ostream& out,
     return 2;
   }
   deltas_out.close();
+  // The ruleset the scenario was generated against, in the DSL
+  // rule_parser.h reads back — so a generated scenario is runnable with
+  // the CLI repair commands without hand-writing rules.
+  std::ofstream rules_out(base + ".rules");
+  if (!rules_out) {
+    err << "cannot open for write: " << base << ".rules\n";
+    return 2;
+  }
+  for (const EditingRule& rule : scenario->rules) {
+    rules_out << ToDsl(rule) << "\n";
+  }
+  rules_out.close();
   std::string trusted_csv;
   for (const std::string& name : scenario->trusted_names) {
     if (!trusted_csv.empty()) trusted_csv += ",";
@@ -689,7 +769,7 @@ int CmdWorkloadGen(const ParsedArgs& args, std::ostream& out,
       << "  deltas: " << scenario->deltas.size() << "\n";
   out << "trusted: " << trusted_csv << "\n";
   out << "wrote " << base << "_master.csv, " << base << "_initial.csv, "
-      << base << ".deltas\n";
+      << base << ".deltas, " << base << ".rules\n";
   return 0;
 }
 

@@ -1,7 +1,12 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
+#include <mutex>
 
 #include "util/string_util.h"
 
@@ -18,7 +23,10 @@ LogLevel InitLevel() {
   if (v == "error") return LogLevel::kError;
   return LogLevel::kOff;
 }
-LogLevel g_level = InitLevel();
+std::atomic<int> g_level{static_cast<int>(InitLevel())};
+
+std::mutex g_sink_mutex;                 // serializes line writes
+std::ostream* g_sink = nullptr;          // nullptr = stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,14 +38,66 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Small dense thread ids (t1, t2, ...) in first-log order: stable within
+/// a process and far more readable than pthread handles.
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// UTC wall-clock "YYYY-MM-DD HH:MM:SS.mmm".
+void AppendTimestamp(std::string* out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+  *out += buf;
+}
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = sink;
+}
 
 void LogMessage(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  std::cerr << "[certfix " << LevelName(level) << "] " << msg << "\n";
+  if (level < GetLogLevel()) return;
+  // The full line is built before any I/O so the sink sees exactly one
+  // write (plus flush) per message — no interleaving mid-line even if
+  // the sink's streambuf writes through unbuffered.
+  std::string line;
+  line.reserve(msg.size() + 48);
+  line += "[certfix ";
+  line += LevelName(level);
+  line += ' ';
+  AppendTimestamp(&line);
+  line += " t";
+  line += std::to_string(ThisThreadId());
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out.flush();
 }
 
 }  // namespace certfix

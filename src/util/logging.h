@@ -1,9 +1,13 @@
 /// \file logging.h
 /// \brief Minimal leveled logger; off by default, enabled via env or API.
+/// Thread-safe: each call formats its whole line (timestamp + thread id
+/// prefix included) into one buffer and writes it under a mutex, so
+/// concurrent shard workers never interleave within a line.
 
 #ifndef CERTFIX_UTIL_LOGGING_H_
 #define CERTFIX_UTIL_LOGGING_H_
 
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -16,7 +20,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
-/// Emit one log line to stderr (thread-compatible, not thread-safe).
+/// Redirects log output (nullptr restores stderr). The sink must outlive
+/// all logging; swap it only while no other thread logs — meant for
+/// tests capturing output, not live rerouting.
+void SetLogSink(std::ostream* sink);
+
+/// Emit one log line: `[certfix LEVEL 2026-08-08 12:00:00.000 tN] msg`.
+/// Safe to call from any thread; lines never interleave.
 void LogMessage(LogLevel level, const std::string& msg);
 
 namespace internal {

@@ -252,7 +252,8 @@ TEST_F(GoldenTest, WorkloadGenMatchesGoldenFixtures) {
         << err_.str();
     EXPECT_NE(out_.str().find("deltas: 30"), std::string::npos)
         << out_.str();
-    for (const char* suffix : {"_master.csv", "_initial.csv", ".deltas"}) {
+    for (const char* suffix :
+         {"_master.csv", "_initial.csv", ".deltas", ".rules"}) {
       std::string file = std::string(name) + suffix;
       EXPECT_EQ(Slurp(dir_ + "/" + file), Slurp(Golden("workload/" + file)))
           << file;
@@ -357,6 +358,59 @@ TEST_F(CliTest, MissingFilesReported) {
   EXPECT_EQ(Run({"analyze", "--master", master_path_, "--rules",
                  dir_ + "/nope.rules"}),
             2);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry surface: --metrics-json is golden-pinned under the fake
+// clock, --trace-out emits a balanced Chrome trace, and --no-telemetry
+// must not move the repaired bytes or summary.
+
+TEST_F(GoldenTest, RepairMetricsJsonMatchesGoldenFixture) {
+  std::string metrics_path = dir_ + "/metrics.json";
+  ASSERT_EQ(Run({"repair", "--master", Golden("master.csv"), "--rules",
+                 Golden("rules.rules"), "--input", Golden("input.csv"),
+                 "--trusted", "zip,name", "--metrics-deterministic",
+                 "--metrics-json", metrics_path}),
+            0)
+      << err_.str();
+  EXPECT_EQ(Slurp(metrics_path), Slurp(Golden("metrics/repair_metrics.json")));
+}
+
+TEST_F(GoldenTest, RepairStreamTraceOutIsBalanced) {
+  std::string trace_path = dir_ + "/trace.json";
+  std::string metrics_path = dir_ + "/stream_metrics.json";
+  ASSERT_EQ(Run({"repair-stream", "--master", Golden("master.csv"),
+                 "--rules", Golden("rules.rules"), "--input",
+                 Golden("input.csv"), "--trusted", "zip,name", "--threads",
+                 "2", "--trace-out", trace_path, "--metrics-json",
+                 metrics_path}),
+            0)
+      << err_.str();
+  std::string trace = Slurp(trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("stream.shard_repair"), std::string::npos);
+  size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = trace.find("\"ph\": \"", pos)) != std::string::npos) {
+    (trace[pos + 7] == 'B' ? begins : ends)++;
+    ++pos;
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+  // The metrics snapshot rides along and names the hot-path histograms.
+  std::string metrics = Slurp(metrics_path);
+  EXPECT_NE(metrics.find("\"repair_tuple_ns\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"queue_push_wait_ns\""), std::string::npos);
+}
+
+TEST_F(GoldenTest, NoTelemetryFlagKeepsOutputIdentical) {
+  ASSERT_EQ(Run({"repair", "--master", Golden("master.csv"), "--rules",
+                 Golden("rules.rules"), "--input", Golden("input.csv"),
+                 "--trusted", "zip,name", "--output", output_path_,
+                 "--no-telemetry"}),
+            0)
+      << err_.str();
+  EXPECT_EQ(Slurp(output_path_), Slurp(Golden("expected_repair.csv")));
+  EXPECT_NE(out_.str().find("cells changed:"), std::string::npos);
 }
 
 TEST_F(CliTest, MinedRulesRoundTripThroughParser) {

@@ -1,0 +1,131 @@
+/// \file logging_test.cc
+/// \brief Logger thread-safety: concurrent CERTFIX_LOG calls from many
+/// threads must produce exactly one well-formed line per call with no
+/// interleaving, each carrying the level + timestamp + thread-id prefix.
+
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace certfix {
+namespace {
+
+// Restores level and sink on scope exit so other tests see the default
+// (stderr, off) logger.
+class LoggerGuard {
+ public:
+  LoggerGuard() : prev_level_(GetLogLevel()) {}
+  ~LoggerGuard() {
+    SetLogSink(nullptr);
+    SetLogLevel(prev_level_);
+  }
+
+ private:
+  LogLevel prev_level_;
+};
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(LoggingTest, LineCarriesLevelTimestampAndThreadId) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  SetLogSink(&sink);
+  SetLogLevel(LogLevel::kInfo);
+  CERTFIX_LOG(kWarn) << "payload " << 42;
+  SetLogSink(nullptr);
+
+  std::vector<std::string> lines = Lines(sink.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  // [certfix WARN 2026-08-08 12:00:00.000 tN] payload 42
+  ASSERT_EQ(line.rfind("[certfix WARN ", 0), 0u) << line;
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0, ms = 0;
+  unsigned tid = 0;
+  ASSERT_EQ(std::sscanf(line.c_str(),
+                        "[certfix WARN %d-%d-%d %d:%d:%d.%d t%u]", &y, &mo,
+                        &d, &h, &mi, &s, &ms, &tid),
+            8)
+      << line;
+  EXPECT_GE(y, 2020);
+  EXPECT_GE(tid, 1u);
+  size_t close = line.find("] ");
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_EQ(line.substr(close + 2), "payload 42");
+}
+
+TEST(LoggingTest, BelowLevelMessagesAreDropped) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  SetLogSink(&sink);
+  SetLogLevel(LogLevel::kWarn);
+  CERTFIX_LOG(kInfo) << "invisible";
+  CERTFIX_LOG(kError) << "visible";
+  SetLogSink(nullptr);
+  EXPECT_EQ(sink.str().find("invisible"), std::string::npos);
+  EXPECT_NE(sink.str().find("visible"), std::string::npos);
+}
+
+// The satellite contract: N threads logging concurrently yield exactly
+// N*k complete lines, never fragments of two messages spliced together.
+TEST(LoggingTest, ConcurrentThreadsNeverInterleaveLines) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  SetLogSink(&sink);
+  SetLogLevel(LogLevel::kInfo);
+
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        CERTFIX_LOG(kInfo) << "worker=" << t << " line=" << i << " tail";
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  SetLogSink(nullptr);
+
+  std::vector<std::string> lines = Lines(sink.str());
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kLines));
+  std::set<std::string> payloads;
+  for (const std::string& line : lines) {
+    // An interleaved write would splice a second prefix or tail into the
+    // line; a well-formed line has exactly one of each.
+    EXPECT_EQ(line.rfind("[certfix INFO ", 0), 0u) << line;
+    EXPECT_EQ(std::count(line.begin(), line.end(), '['), 1) << line;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ']'), 1) << line;
+    ASSERT_TRUE(line.size() >= 5 &&
+                line.compare(line.size() - 5, 5, " tail") == 0)
+        << line;
+    size_t close = line.find("] ");
+    ASSERT_NE(close, std::string::npos);
+    payloads.insert(line.substr(close + 2));
+  }
+  // Every (worker, line) payload arrived exactly once.
+  EXPECT_EQ(payloads.size(), static_cast<size_t>(kThreads * kLines));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kLines; ++i) {
+      std::ostringstream want;
+      want << "worker=" << t << " line=" << i << " tail";
+      EXPECT_EQ(payloads.count(want.str()), 1u) << want.str();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace certfix

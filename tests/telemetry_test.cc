@@ -1,0 +1,366 @@
+/// \file telemetry_test.cc
+/// \brief Telemetry layer: histogram buckets and percentiles against a
+/// brute-force sorted-vector oracle, exact multi-threaded counter
+/// folding, span-stream well-formedness, and byte-deterministic
+/// registry snapshots.
+
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/clock.h"
+#include "telemetry/trace.h"
+
+namespace certfix {
+namespace telemetry {
+namespace {
+
+// Deterministic value stream (tests must not consult the OS RNG).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 17;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// ---------------------------------------------------------------------------
+// Histogram buckets
+
+// The documented contract: the bucket representative (upper bound) is
+// never below the value and overshoots by at most a quarter of it
+// (exactly representable below 4).
+TEST(HistogramBucketTest, UpperBoundWithinQuarterOfValue) {
+  std::vector<uint64_t> values;
+  for (uint64_t v = 0; v < 4096; ++v) values.push_back(v);
+  for (int p = 2; p < 63; ++p) {
+    uint64_t pow = uint64_t{1} << p;
+    values.push_back(pow - 1);
+    values.push_back(pow);
+    values.push_back(pow + 1);
+  }
+  Lcg lcg(7);
+  for (int i = 0; i < 1000; ++i) values.push_back(lcg.Next());
+  for (uint64_t v : values) {
+    size_t idx = Histogram::BucketOf(v);
+    ASSERT_LT(idx, Histogram::kBuckets) << v;
+    uint64_t upper = Histogram::BucketUpper(idx);
+    EXPECT_GE(upper, v);
+    EXPECT_LE(upper, v + v / 4 + 1) << v;
+    if (v < 4) {
+      EXPECT_EQ(upper, v);
+    }
+  }
+}
+
+TEST(HistogramBucketTest, BucketIndexIsMonotone) {
+  size_t prev = 0;
+  for (uint64_t v = 0; v < (1u << 16); ++v) {
+    size_t idx = Histogram::BucketOf(v);
+    EXPECT_GE(idx, prev) << v;
+    prev = idx;
+  }
+}
+
+// Every bucket's upper bound must map back into its own bucket.
+TEST(HistogramBucketTest, UpperBoundRoundTrips) {
+  for (size_t idx = 0; idx < 252; ++idx) {
+    EXPECT_EQ(Histogram::BucketOf(Histogram::BucketUpper(idx)), idx) << idx;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentiles vs a sorted-vector oracle
+
+// Nearest-rank percentile over the raw samples.
+uint64_t OraclePercentile(std::vector<uint64_t> sorted, double q) {
+  size_t rank = static_cast<size_t>(
+      std::max<double>(1.0, q * static_cast<double>(sorted.size()) + 0.999999));
+  rank = std::min(rank, sorted.size());
+  return sorted[rank - 1];
+}
+
+TEST(HistogramTest, PercentilesTrackSortedVectorOracle) {
+  Lcg lcg(42);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{10}, size_t{1000},
+                   size_t{4097}}) {
+    Histogram h;
+    std::vector<uint64_t> samples;
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      // Mixed magnitudes: sub-microsecond up to ~seconds in nanoseconds.
+      uint64_t v = lcg.Next() % (i % 3 == 0 ? 1000u : 2000000000u);
+      samples.push_back(v);
+      sum += v;
+      h.Record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    HistogramSnapshot s = h.Snap();
+    EXPECT_EQ(s.count, n);
+    EXPECT_EQ(s.sum, sum);
+    EXPECT_EQ(s.max, samples.back());
+    const struct {
+      double q;
+      uint64_t got;
+    } checks[] = {{0.50, s.p50}, {0.90, s.p90}, {0.99, s.p99}};
+    for (const auto& c : checks) {
+      uint64_t want = OraclePercentile(samples, c.q);
+      EXPECT_GE(c.got, want) << "n=" << n << " q=" << c.q;
+      EXPECT_LE(c.got, want + want / 4 + 1) << "n=" << n << " q=" << c.q;
+    }
+  }
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  HistogramSnapshot s = h.Snap();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.p99, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Striped counters: folding is exact once writers have joined
+
+TEST(CounterTest, MultiThreadedFoldIsExact) {
+  Counter c;
+  Gauge g;
+  MaxGauge m;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kIters = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kIters; ++i) {
+        c.Increment();
+        c.Add(static_cast<uint64_t>(t));
+        g.Add(i % 2 == 0 ? 3 : -2);
+        m.Note(static_cast<uint64_t>(t) * kIters + i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Sum over threads of (kIters ones + kIters * t).
+  uint64_t want = kThreads * kIters +
+                  kIters * (kThreads * (kThreads - 1) / 2);
+  EXPECT_EQ(c.Value(), want);
+  // Per thread: kIters/2 adds of +3 and kIters/2 adds of -2.
+  EXPECT_EQ(g.Value(), kThreads * (static_cast<int64_t>(kIters) / 2));
+  EXPECT_EQ(m.Value(), static_cast<uint64_t>(kThreads - 1) * kIters +
+                           (kIters - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Registry + handles
+
+TEST(RegistryTest, SnapshotIsByteDeterministic) {
+  ScopedRegistry scoped;
+  Registry* r = Registry::Global();
+  r->GetCounter("beta")->Add(1);
+  r->GetCounter("alpha")->Add(3);
+  r->GetGauge("level")->Add(-2);
+  Histogram* h = r->GetHistogram("lat");
+  h->Record(0);
+  h->Record(1);
+  h->Record(2);
+  r->GetMaxGauge("high")->Note(9);
+  std::string first = r->ToJson();
+  std::string second = r->ToJson();
+  EXPECT_EQ(first, second);
+  // The exact bytes are part of the contract (golden metrics fixtures
+  // pin them): sorted names, fixed field order, trailing newline.
+  EXPECT_EQ(first,
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"alpha\": 3,\n"
+            "    \"beta\": 1\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"level\": -2\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"lat\": {\"count\": 3, \"max\": 2, \"p50\": 1, "
+            "\"p90\": 2, \"p99\": 2, \"sum\": 3}\n"
+            "  },\n"
+            "  \"max_gauges\": {\n"
+            "    \"high\": 9\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(RegistryTest, EmptyRegistryRendersEmptySections) {
+  ScopedRegistry scoped;
+  EXPECT_EQ(Registry::Global()->ToJson(),
+            "{\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {},\n"
+            "  \"max_gauges\": {}\n"
+            "}\n");
+}
+
+// Thread-local handles must chase registry swaps (the generation
+// protocol), not keep feeding a stale registry.
+TEST(RegistryTest, ThreadLocalHandlesFollowScopedRegistrySwaps) {
+  // One call site (one cached handle) driven under three registries in
+  // turn: the cached pointer must be re-resolved on every swap.
+  auto add = [](uint64_t n) { CERTFIX_TL_COUNTER("swap.count")->Add(n); };
+  ScopedRegistry outer;
+  add(1);
+  {
+    ScopedRegistry inner;
+    add(5);
+    EXPECT_EQ(Registry::Global()->GetCounter("swap.count")->Value(), 5u);
+  }
+  add(1);
+  EXPECT_EQ(Registry::Global()->GetCounter("swap.count")->Value(), 2u);
+}
+
+TEST(ScopedLatencyTest, DisabledRecordsNothing) {
+  ScopedRegistry scoped;
+  Histogram* h = Registry::Global()->GetHistogram("gated");
+  {
+    ScopedEnabled off(false);
+    ScopedLatency latency(h);
+  }
+  EXPECT_EQ(h->Snap().count, 0u);
+  { ScopedLatency latency(h); }
+  EXPECT_EQ(h->Snap().count, 1u);
+}
+
+TEST(ScopedLatencyTest, FakeClockZeroesDurations) {
+  ScopedRegistry scoped;
+  ScopedFakeClock fake(true);
+  Histogram* h = Registry::Global()->GetHistogram("fake");
+  { ScopedLatency latency(h); }
+  HistogramSnapshot s = h->Snap();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: exported span streams are well-formed
+
+struct ParsedEvent {
+  char phase = '?';
+  int tid = -1;
+  double ts = 0;
+};
+
+// Pulls phase/tid/ts out of the one-event-per-line export format.
+std::vector<ParsedEvent> ParseTrace(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t ph = line.find("\"ph\": \"");
+    if (ph == std::string::npos) continue;
+    ParsedEvent e;
+    e.phase = line[ph + 7];
+    size_t ts = line.find("\"ts\": ");
+    size_t tid = line.find("\"tid\": ");
+    EXPECT_NE(ts, std::string::npos) << line;
+    EXPECT_NE(tid, std::string::npos) << line;
+    e.ts = std::stod(line.substr(ts + 6));
+    e.tid = std::stoi(line.substr(tid + 7));
+    events.push_back(e);
+  }
+  return events;
+}
+
+TEST(TracerTest, ConcurrentSpansExportWellFormed) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        CERTFIX_SPAN("outer");
+        CERTFIX_SPAN("middle");
+        { CERTFIX_SPAN("inner"); }
+        { CERTFIX_SPAN("inner"); }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::string json = tracer.ExportJson();
+  tracer.Disable();
+
+  std::vector<ParsedEvent> events = ParseTrace(json);
+  EXPECT_EQ(events.size(), kThreads * 50u * 4u * 2u);
+  // Per thread: depth never goes negative, ends balanced, timestamps
+  // are monotone non-decreasing in buffer order.
+  std::set<int> tids;
+  for (const ParsedEvent& e : events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  for (int tid : tids) {
+    int depth = 0;
+    double last_ts = 0;
+    for (const ParsedEvent& e : events) {
+      if (e.tid != tid) continue;
+      depth += e.phase == 'B' ? 1 : -1;
+      EXPECT_GE(depth, 0);
+      EXPECT_GE(e.ts, last_ts);
+      last_ts = e.ts;
+    }
+    EXPECT_EQ(depth, 0) << "tid " << tid;
+  }
+}
+
+// A full buffer drops whole spans, never half of one, and the export
+// stays balanced.
+TEST(TracerTest, FullBufferDropsWholeSpans) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(/*capacity=*/8);
+  for (int i = 0; i < 100; ++i) {
+    CERTFIX_SPAN("crowded");
+  }
+  EXPECT_GT(tracer.dropped(), 0u);
+  std::vector<ParsedEvent> events = ParseTrace(tracer.ExportJson());
+  tracer.Disable();
+  size_t begins = 0;
+  size_t ends = 0;
+  for (const ParsedEvent& e : events) {
+    (e.phase == 'B' ? begins : ends)++;
+  }
+  EXPECT_EQ(begins, ends);
+  EXPECT_GT(begins, 0u);
+}
+
+// Open spans at export time are skipped, keeping the stream balanced.
+TEST(TracerTest, OpenSpansAreSkippedAtExport) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  std::string json;
+  {
+    CERTFIX_SPAN("open");
+    { CERTFIX_SPAN("closed"); }
+    json = tracer.ExportJson();
+  }
+  tracer.Disable();
+  std::vector<ParsedEvent> events = ParseTrace(json);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+  EXPECT_NE(json.find("closed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace certfix

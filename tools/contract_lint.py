@@ -28,6 +28,13 @@ Checks (each line-anchored, reported as file:line):
                   FlatIdTable/FlatKeyIndex; cold build-side groupings
                   carry an explicit waiver.
 
+  stderr          Raw std::cerr / fprintf(stderr, ...) is allowed only
+                  in util/logging.cc (the single sink) and src/tools/
+                  (CLI commands write user-facing errors to the stream
+                  they were handed) — library code must go through
+                  CERTFIX_LOG so lines stay whole under concurrency and
+                  tests can capture them via SetLogSink.
+
 A line is waived with `// contract-lint: allow(<check>) <reason>`; the
 reason is mandatory. For idkey-map only, the waiver may sit on the line
 immediately before or after the declaration (multi-line template
@@ -45,6 +52,7 @@ POOL_ALLOWED = ("src/relational/",)
 IDKEY_ALLOWED = ("src/relational/flat_key_index.h",
                  "src/relational/flat_key_index.cc",
                  "src/relational/key_index.h")
+STDERR_ALLOWED = ("src/util/logging.cc", "src/tools/")
 
 WAIVER = re.compile(r"//\s*contract-lint:\s*allow\(([\w-]+)\)\s+\S")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -52,6 +60,7 @@ LINE_COMMENT = re.compile(r"//.*$")
 THREAD_USE = re.compile(r"\bstd::thread\b(?!\s*::hardware_concurrency)")
 POOL_WRITE = re.compile(r"(?:->|\.)\s*Intern\s*\(")
 IDKEY_MAP = re.compile(r"\bstd::unordered_map<\s*IdKey\b")
+STDERR_USE = re.compile(r"\bstd::cerr\b|\bfprintf\s*\(\s*stderr\b")
 
 STATUS_DECL = re.compile(
     r"^\s*(?:virtual\s+)?(?:Status|Result<[^;=]*>)\s+(\w+)\s*\(")
@@ -180,6 +189,15 @@ def main():
                      "idkey-map: std::unordered_map<IdKey, ...> outside the "
                      "index implementations — use FlatIdTable/FlatKeyIndex "
                      "(relational/flat_key_index.h) or waive with a reason"))
+
+            if (STDERR_USE.search(code)
+                    and not relpath.startswith(STDERR_ALLOWED)
+                    and not waived(raw, "stderr")):
+                findings.append(
+                    (relpath, lineno,
+                     "stderr: raw std::cerr/fprintf(stderr) outside "
+                     "util/logging.cc and src/tools — use CERTFIX_LOG "
+                     "(util/logging.h)"))
 
             if (POOL_WRITE.search(code)
                     and not relpath.startswith(POOL_ALLOWED)
