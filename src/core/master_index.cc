@@ -50,8 +50,8 @@ std::shared_ptr<MasterIndex::ValueIndex> MasterIndex::BuildValueIndex(
     const Relation& dm, const std::vector<AttrId>& xm, AttrId bm,
     IndexKind kind) {
   auto vi = std::make_shared<ValueIndex>();
-  const std::vector<ValueId>& bm_col = dm.Column(bm);
-  std::vector<const std::vector<ValueId>*> key_cols;
+  const IdColumn& bm_col = dm.Column(bm);
+  std::vector<const IdColumn*> key_cols;
   key_cols.reserve(xm.size());
   for (AttrId a : xm) key_cols.push_back(&dm.Column(a));
   IdKey key(xm.size());

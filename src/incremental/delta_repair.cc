@@ -72,8 +72,27 @@ DeltaRepairStats DeltaMetrics::Snapshot(uint64_t rows) const {
   return s;
 }
 
+namespace {
+/// Private master copy for the copying constructor: the engine mutates
+/// its master on kMaster* deltas, and the single-writer pool contract
+/// forbids sharing the caller's pool for that.
+Relation CopyToPrivatePool(const Relation& master) {
+  Relation copy(master.schema());
+  copy.Reserve(master.size());
+  for (size_t i = 0; i < master.size(); ++i) {
+    (void)copy.Append(master.at(i));  // same schema by construction
+  }
+  return copy;
+}
+}  // namespace
+
 DeltaRepairEngine::DeltaRepairEngine(const RuleSet& rules,
                                      const Relation& master, AttrSet trusted,
+                                     DeltaRepairOptions options)
+    : DeltaRepairEngine(rules, CopyToPrivatePool(master), trusted, options) {}
+
+DeltaRepairEngine::DeltaRepairEngine(const RuleSet& rules, Relation&& master,
+                                     AttrSet trusted,
                                      DeltaRepairOptions options)
     : rules_(&rules),
       schema_(rules.r_schema()),
@@ -83,14 +102,9 @@ DeltaRepairEngine::DeltaRepairEngine(const RuleSet& rules,
       options_(options),
       graph_(rules),
       summary_(graph_, trusted),
-      master_(master.schema()),
+      master_(std::move(master)),
       input_(schema_),
       repaired_(schema_) {
-  // Private master copy: the engine mutates its master on kMaster* deltas,
-  // and the single-writer pool contract forbids sharing the caller's pool
-  // for that.
-  master_.Reserve(master.size());
-  for (size_t i = 0; i < master.size(); ++i) master_.Append(master.at(i));
   index_ = std::make_unique<MasterIndex>(*rules_, master_, options_.index_kind);
   sat_ = std::make_unique<Saturator>(*rules_, master_, *index_);
 

@@ -166,6 +166,14 @@ class DeltaRepairEngine {
   /// deltas). Every maintained tuple trusts its cells on `trusted`.
   DeltaRepairEngine(const RuleSet& rules, const Relation& master,
                     AttrSet trusted, DeltaRepairOptions options = {});
+  /// Adopting overload: takes ownership of `master` without copying it.
+  /// The relation (and its pool) must be private to the engine from here
+  /// on — this is how a memory-mapped snapshot master stays out-of-core
+  /// instead of being materialized row by row (storage/columnar.h; the
+  /// copy-on-write IdColumn promotes only the columns master deltas
+  /// actually touch).
+  DeltaRepairEngine(const RuleSet& rules, Relation&& master, AttrSet trusted,
+                    DeltaRepairOptions options = {});
   ~DeltaRepairEngine();
 
   DeltaRepairEngine(const DeltaRepairEngine&) = delete;

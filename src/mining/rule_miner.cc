@@ -95,7 +95,7 @@ std::vector<MinedDependency> RuleMiner::MineDependencies() const {
       // DistinctValues drew v from the pool, so the id probe always hits;
       // the row scan is a single integer compare per row.
       ValueId vid = master_->pool()->Find(v);
-      const std::vector<ValueId>& col = master_->Column(cond);
+      const IdColumn& col = master_->Column(cond);
       std::vector<size_t> rows;
       for (size_t i = 0; i < master_->size(); ++i) {
         if (col[i] == vid) rows.push_back(i);

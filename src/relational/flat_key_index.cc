@@ -242,7 +242,7 @@ void FlatIdTable::Rehash(size_t min_live) {
 
 FlatKeyIndex::FlatKeyIndex(const Relation& rel, std::vector<AttrId> attrs)
     : attrs_(std::move(attrs)), pool_(rel.pool()) {
-  std::vector<const std::vector<ValueId>*> cols;
+  std::vector<const IdColumn*> cols;
   cols.reserve(attrs_.size());
   for (AttrId a : attrs_) cols.push_back(&rel.Column(a));
   table_.Reset(attrs_.size(), rel.size());

@@ -6,7 +6,7 @@ const std::vector<size_t> KeyIndex::kEmpty;
 
 KeyIndex::KeyIndex(const Relation& rel, std::vector<AttrId> attrs)
     : attrs_(std::move(attrs)), pool_(rel.pool()) {
-  std::vector<const std::vector<ValueId>*> cols;
+  std::vector<const IdColumn*> cols;
   cols.reserve(attrs_.size());
   for (AttrId a : attrs_) cols.push_back(&rel.Column(a));
   IdKey key(attrs_.size());

@@ -15,7 +15,7 @@ Tuple Relation::at(size_t i) const {
 void Relation::SetCell(size_t row, AttrId attr, Value v) {
   ValueId id = pool_->Intern(std::move(v));
   if (cols_[attr][row] != id) {
-    cols_[attr][row] = id;
+    cols_[attr].Set(row, id);
     BumpVersion(row);
   }
 }
@@ -30,7 +30,7 @@ AttrSet Relation::UpdateRow(size_t row, const Tuple& t) {
     for (size_t a = 0; a < cols_.size(); ++a) {
       ValueId id = t.id_at(static_cast<AttrId>(a));
       if (cols_[a][row] != id) {
-        cols_[a][row] = id;
+        cols_[a].Set(row, id);
         changed.Add(static_cast<AttrId>(a));
       }
     }
@@ -38,7 +38,7 @@ AttrSet Relation::UpdateRow(size_t row, const Tuple& t) {
     for (size_t a = 0; a < cols_.size(); ++a) {
       const Value& v = t.at(static_cast<AttrId>(a));
       if (Cell(row, static_cast<AttrId>(a)) != v) {
-        cols_[a][row] = pool_->Intern(v);
+        cols_[a].Set(row, pool_->Intern(v));
         changed.Add(static_cast<AttrId>(a));
       }
     }
@@ -60,11 +60,11 @@ Status Relation::Append(const Tuple& t) {
   }
   if (t.pool() == pool_) {
     for (size_t a = 0; a < cols_.size(); ++a) {
-      cols_[a].push_back(t.id_at(static_cast<AttrId>(a)));
+      cols_[a].PushBack(t.id_at(static_cast<AttrId>(a)));
     }
   } else {
     for (size_t a = 0; a < cols_.size(); ++a) {
-      cols_[a].push_back(pool_->Intern(t.at(static_cast<AttrId>(a))));
+      cols_[a].PushBack(pool_->Intern(t.at(static_cast<AttrId>(a))));
     }
   }
   if (track_versions_) versions_.push_back(1);
@@ -81,7 +81,7 @@ Status Relation::AppendStrings(const std::vector<std::string>& fields) {
   }
   for (size_t a = 0; a < fields.size(); ++a) {
     AttrId attr = static_cast<AttrId>(a);
-    cols_[a].push_back(
+    cols_[a].PushBack(
         pool_->Intern(Value::Parse(fields[a], schema_->attr_type(attr))));
   }
   if (track_versions_) versions_.push_back(1);

@@ -1,6 +1,9 @@
 #include "relational/value.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/string_util.h"
 
@@ -28,8 +31,15 @@ std::string Value::ToString() const {
   if (is_null()) return "<null>";
   if (is_int()) return std::to_string(as_int());
   if (is_double()) {
+    // Shortest representation that parses back to the exact same double
+    // (Parse(ToString(v)) == v — snapshots and golden files depend on
+    // it). 17 significant digits always round-trip; most values need 15.
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%g", as_double());
+    double d = as_double();
+    for (int precision = 15; precision <= 17; ++precision) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+      if (std::strtod(buf, nullptr) == d) break;
+    }
     return buf;
   }
   return as_string();
@@ -39,10 +49,24 @@ Value Value::Parse(const std::string& text, DataType type) {
   if (text.empty() || text == "<null>") return Value();
   switch (type) {
     case DataType::kInt:
-      if (IsInteger(text)) return Value::Int(std::strtoll(text.c_str(), nullptr, 10));
+      if (IsInteger(text)) {
+        errno = 0;
+        int64_t v = std::strtoll(text.c_str(), nullptr, 10);
+        // Out-of-range digit strings would otherwise clamp to
+        // LLONG_MAX/MIN and enter the pool as wrong-but-plausible data.
+        if (errno == ERANGE) return Value();
+        return Value::Int(v);
+      }
       return Value();
     case DataType::kDouble:
-      if (IsDouble(text)) return Value::Double(std::strtod(text.c_str(), nullptr));
+      if (IsDouble(text)) {
+        errno = 0;
+        double v = std::strtod(text.c_str(), nullptr);
+        // Reject overflow (±HUGE_VAL); keep gradual underflow — a
+        // subnormal result is still the nearest representable value.
+        if (errno == ERANGE && std::abs(v) == HUGE_VAL) return Value();
+        return Value::Double(v);
+      }
       return Value();
     case DataType::kString:
       return Value::Str(text);

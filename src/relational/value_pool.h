@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "relational/value.h"
+#include "util/status.h"
 
 namespace certfix {
 
@@ -91,6 +92,35 @@ class ValuePool {
 };
 
 using PoolPtr = std::shared_ptr<ValuePool>;
+
+/// \brief Serialization hook: rebuilds a pool's dictionary in dense id
+/// order when a columnar snapshot is loaded (storage/columnar.cc decodes
+/// the values; this appends them). Lives here — not in the storage layer —
+/// because pool writes are confined to src/relational (the single-writer
+/// contract above), and because id assignment is the invariant mapped
+/// columns depend on: the snapshot stores raw ids, so value k of the
+/// dictionary section MUST intern to id k.
+class PoolDictionaryBuilder {
+ public:
+  explicit PoolDictionaryBuilder(PoolPtr pool) : pool_(std::move(pool)) {}
+
+  /// Appends the next dictionary value; fails if it does not land on
+  /// `expected` (a duplicate or out-of-order entry — a corrupt or
+  /// hand-edited dictionary section).
+  Status Append(const Value& v, ValueId expected) {
+    ValueId got = pool_->Intern(v);
+    if (got != expected) {
+      return Status::ParseError(
+          "dictionary entry " + std::to_string(expected) +
+          " interned to id " + std::to_string(got) +
+          " (duplicate or out-of-order value)");
+    }
+    return Status::OK();
+  }
+
+ private:
+  PoolPtr pool_;
+};
 
 /// Key type used by id-keyed hash indexes (KeyIndex, MasterIndex).
 using IdKey = std::vector<ValueId>;

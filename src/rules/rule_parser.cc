@@ -228,4 +228,42 @@ Result<RuleSet> ParseRules(const std::string& text, SchemaPtr r,
   return out;
 }
 
+std::string RuleToDsl(const EditingRule& rule) {
+  std::string out = "rule " + rule.name() + ": (";
+  for (size_t i = 0; i < rule.lhs().size(); ++i) {
+    out += (i ? ", " : "") + rule.r_schema()->attr_name(rule.lhs()[i]);
+  }
+  out += " | ";
+  for (size_t i = 0; i < rule.lhsm().size(); ++i) {
+    out += (i ? ", " : "") + rule.rm_schema()->attr_name(rule.lhsm()[i]);
+  }
+  out += ") -> (" + rule.r_schema()->attr_name(rule.rhs()) + " | " +
+         rule.rm_schema()->attr_name(rule.rhsm()) + ")";
+  if (!rule.pattern().empty()) {
+    out += " when ";
+    bool first = true;
+    for (const auto& [attr, pv] : rule.pattern().cells()) {
+      if (!first) out += ", ";
+      first = false;
+      out += rule.r_schema()->attr_name(attr);
+      if (pv.is_wildcard()) {
+        out += "=_";
+      } else {
+        out += pv.is_neg_const() ? "!=" : "=";
+        out += "\"" + pv.value().ToString() + "\"";
+      }
+    }
+  }
+  return out;
+}
+
+std::string RulesToDsl(const RuleSet& rules) {
+  std::string out;
+  for (const EditingRule& rule : rules) {
+    out += RuleToDsl(rule);
+    out += "\n";
+  }
+  return out;
+}
+
 }  // namespace certfix

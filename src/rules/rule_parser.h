@@ -43,6 +43,15 @@ Result<std::vector<EditingRule>> ParseRuleGroup(const std::string& line,
 Result<RuleSet> ParseRules(const std::string& text, SchemaPtr r,
                            SchemaPtr rm);
 
+/// Renders one rule back into the DSL above (inverse of ParseRule; group
+/// lines are not reconstructed — each expanded rule prints on its own).
+std::string RuleToDsl(const EditingRule& rule);
+
+/// Whole-file rendering: one rule per line, trailing newline. Feeding the
+/// result back through ParseRules reproduces the set — the durable
+/// session (incremental/durable_session.h) persists rulesets this way.
+std::string RulesToDsl(const RuleSet& rules);
+
 }  // namespace certfix
 
 #endif  // CERTFIX_RULES_RULE_PARSER_H_

@@ -1,0 +1,170 @@
+#include "storage/io_util.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace certfix {
+namespace storage {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  const uint8_t* q = *p;
+  while (q < end && shift < 70) {
+    uint8_t byte = *q++;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = q;
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Internal("read failed on " + path);
+  return bytes;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Errno("write", tmp);
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("rename", path);
+  }
+  size_t slash = path.find_last_of('/');
+  return FsyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir", dir);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Map(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("fstat", path);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  const uint8_t* data = nullptr;
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return Errno("mmap", path);
+    }
+    data = static_cast<const uint8_t*>(addr);
+  }
+  ::close(fd);  // the mapping survives the fd
+  return std::shared_ptr<MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace storage
+}  // namespace certfix

@@ -1,7 +1,6 @@
 #include "stream/delta_source.h"
 
-#include <cerrno>
-#include <cstdlib>
+#include "util/string_util.h"
 
 namespace certfix {
 
@@ -65,12 +64,11 @@ Result<bool> DeltaLogSource::Next(Delta* delta) {
   }
   delta->row = 0;
   if (NeedsRow(delta->kind)) {
+    // Strict digits only: strtoul would quietly accept " 5" and "+5",
+    // turning malformed logs into positional mutations of the wrong row.
     const std::string& s = record[1];
-    char* end = nullptr;
-    errno = 0;
-    unsigned long v = std::strtoul(s.c_str(), &end, 10);
-    if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
-        s.find('-') != std::string::npos) {
+    size_t v = 0;
+    if (!ParseSizeStrict(s, &v)) {
       return LineError(line, "op " + record[0] +
                                  " needs a non-negative row, got '" + s + "'");
     }

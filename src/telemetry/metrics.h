@@ -283,6 +283,7 @@ struct Handle {
   }
 };
 using CounterHandle = Handle<Counter, &Registry::GetCounter>;
+using GaugeHandle = Handle<Gauge, &Registry::GetGauge>;
 using HistogramHandle = Handle<Histogram, &Registry::GetHistogram>;
 }  // namespace internal
 
@@ -292,6 +293,12 @@ using HistogramHandle = Handle<Histogram, &Registry::GetHistogram>;
   ([]() -> ::certfix::telemetry::Counter* {                            \
     thread_local ::certfix::telemetry::internal::CounterHandle handle; \
     return handle.Get(name);                                           \
+  }())
+
+#define CERTFIX_TL_GAUGE(name)                                        \
+  ([]() -> ::certfix::telemetry::Gauge* {                             \
+    thread_local ::certfix::telemetry::internal::GaugeHandle handle;  \
+    return handle.Get(name);                                          \
   }())
 
 #define CERTFIX_TL_HISTOGRAM(name)                                       \

@@ -15,6 +15,8 @@
 #include "core/zproblems.h"
 #include "core/cregion.h"
 #include "incremental/delta_repair.h"
+#include "incremental/durable_session.h"
+#include "storage/wal.h"
 #include "mining/rule_miner.h"
 #include "relational/csv.h"
 #include "relational/csv_stream.h"
@@ -53,7 +55,7 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
     std::string key = a.substr(2);
     if (key == "no-conditional" || key == "json" || key == "strict" ||
         key == "no-memo" || key == "metrics-deterministic" ||
-        key == "no-telemetry") {
+        key == "no-telemetry" || key == "no-compress" || key == "no-sync") {
       out.flags[key] = "true";
       continue;
     }
@@ -69,7 +71,7 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
 void Usage(std::ostream& err) {
   err << "usage: certfix "
          "<mine|analyze|check|repair|repair-stream|repair-deltas|"
-         "workload gen> [flags]\n"
+         "snapshot|recover|workload gen> [flags]\n"
       << "  mine    --master M.csv [--max-lhs N] [--no-conditional]\n"
       << "  analyze --master M.csv --rules R.rules [--trusted a,b]\n"
       << "          [--json] [--strict] [--max-probes N]\n"
@@ -89,6 +91,21 @@ void Usage(std::ostream& err) {
       << "          [--threads N] [--queue-capacity N]\n"
       << "          [--analyze off|warn|strict]\n"
       << "          [--index flat|map] [--no-memo] [telemetry flags]\n"
+      << "          [--wal DIR] [--snapshot-every N] [--no-compress]\n"
+      << "          [--no-sync] [--mmap-budget BYTES]\n"
+      << "          (--wal persists state durably; with an existing DIR\n"
+      << "           the session is recovered and --master/--rules/\n"
+      << "           --input/--trusted are read from it; --deltas is\n"
+      << "           then optional. --deltas accepts the CSV delta-log\n"
+      << "           or binary WAL format.)\n"
+      << "  snapshot --dir DIR [--no-compress] [--mmap-budget BYTES]\n"
+      << "          (rotates a durable session to a fresh snapshot\n"
+      << "           generation, emptying its WAL)\n"
+      << "  recover --dir DIR [--output OUT.csv] [--threads N]\n"
+      << "          [--queue-capacity N] [--index flat|map] [--no-memo]\n"
+      << "          [--mmap-budget BYTES] [telemetry flags]\n"
+      << "          (snapshot load + WAL replay; prints what recovery\n"
+      << "           found and optionally writes the repaired relation)\n"
       << "  workload gen\n"
       << "          --spec S.toml --out-dir DIR [--prefix NAME]\n"
       << "          (writes NAME_master.csv, NAME_initial.csv,\n"
@@ -98,36 +115,6 @@ void Usage(std::ostream& err) {
       << "  --trace-out PATH          write a Chrome/Perfetto trace\n"
       << "  --metrics-deterministic   zero all timings (golden-pinnable)\n"
       << "  --no-telemetry            skip clock reads on hot paths\n";
-}
-
-/// Renders a rule in the DSL accepted by rule_parser.h.
-std::string ToDsl(const EditingRule& rule) {
-  std::string out = "rule " + rule.name() + ": (";
-  for (size_t i = 0; i < rule.lhs().size(); ++i) {
-    out += (i ? ", " : "") + rule.r_schema()->attr_name(rule.lhs()[i]);
-  }
-  out += " | ";
-  for (size_t i = 0; i < rule.lhsm().size(); ++i) {
-    out += (i ? ", " : "") + rule.rm_schema()->attr_name(rule.lhsm()[i]);
-  }
-  out += ") -> (" + rule.r_schema()->attr_name(rule.rhs()) + " | " +
-         rule.rm_schema()->attr_name(rule.rhsm()) + ")";
-  if (!rule.pattern().empty()) {
-    out += " when ";
-    bool first = true;
-    for (const auto& [attr, pv] : rule.pattern().cells()) {
-      if (!first) out += ", ";
-      first = false;
-      out += rule.r_schema()->attr_name(attr);
-      if (pv.is_wildcard()) {
-        out += "=_";
-      } else {
-        out += pv.is_neg_const() ? "!=" : "=";
-        out += "\"" + pv.value().ToString() + "\"";
-      }
-    }
-  }
-  return out;
 }
 
 Result<Relation> LoadMaster(const ParsedArgs& args) {
@@ -186,7 +173,7 @@ int CmdMine(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   out << "# " << rules->size() << " rules mined from "
       << master->size() << " master rows\n";
-  for (const EditingRule& rule : *rules) out << ToDsl(rule) << "\n";
+  for (const EditingRule& rule : *rules) out << RuleToDsl(rule) << "\n";
   return 0;
 }
 
@@ -198,16 +185,11 @@ bool ParseSizeFlag(const ParsedArgs& args, const char* flag, size_t* out,
   auto it = args.flags.find(flag);
   if (it == args.flags.end()) return true;
   const std::string& s = it->second;
-  char* end = nullptr;
-  errno = 0;
-  unsigned long v = std::strtoul(s.c_str(), &end, 10);
-  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
-      s.find('-') != std::string::npos) {
+  if (!ParseSizeStrict(s, out)) {
     err << "--" << flag << " needs a non-negative integer, got '" << s
         << "'\n";
     return false;
   }
-  *out = v;
   return true;
 }
 
@@ -616,15 +598,6 @@ int CmdRepairStream(const ParsedArgs& args, std::ostream& out,
 int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
                     std::ostream& err) {
   TelemetryScope telemetry_scope(args);
-  RepairSetup setup;
-  if (int code = LoadRepairSetup(args, err, &setup); code != 0) {
-    return code;
-  }
-  auto deltas_it = args.flags.find("deltas");
-  if (deltas_it == args.flags.end()) {
-    err << "--deltas is required\n";
-    return 1;
-  }
   DeltaRepairOptions options;
   if (!ParseSizeFlag(args, "threads", &options.num_shards, err) ||
       !ParseSizeFlag(args, "queue-capacity", &options.queue_capacity, err) ||
@@ -633,39 +606,108 @@ int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
     return 1;
   }
   options.use_memo = args.flags.count("no-memo") == 0;
-  Result<Relation> input =
-      ReadCsvFile(setup.master.schema(), setup.input_path);
-  if (!input.ok()) {
-    err << input.status() << "\n";
-    return 2;
-  }
-  std::ifstream deltas_in(deltas_it->second);
-  if (!deltas_in) {
-    err << Status::NotFound("cannot open file: " + deltas_it->second) << "\n";
-    return 2;
-  }
 
-  DeltaRepairEngine engine(setup.rules, setup.master, setup.trusted, options);
-  if (!engine.precheck_status().ok()) {
-    err << engine.precheck_status() << "\n";
-    return 2;
+  auto wal_it = args.flags.find("wal");
+  auto deltas_it = args.flags.find("deltas");
+  if (deltas_it == args.flags.end() && wal_it == args.flags.end()) {
+    err << "--deltas is required (unless recovering via --wal)\n";
+    return 1;
   }
-  DeltaLogSource source(setup.master.schema(), setup.master.schema(),
-                        deltas_in);
+  DurableOptions durable;
+  durable.engine = options;
+  if (!ParseSizeFlag(args, "snapshot-every", &durable.snapshot_every, err) ||
+      !ParseSizeFlag(args, "mmap-budget", &durable.mmap_budget_bytes, err)) {
+    return 1;
+  }
+  durable.compress_snapshots = args.flags.count("no-compress") == 0;
+  durable.sync_every_append = args.flags.count("no-sync") == 0;
+
+  // Lifetime note: a plain (non-durable) engine borrows setup.rules, so
+  // setup must outlive it.
+  RepairSetup setup;
+  std::unique_ptr<DurableSession> session;
+  std::unique_ptr<DeltaRepairEngine> owned_engine;
   DeltaRepairStats stats;
   try {
-    if (Status st = engine.Load(*input); !st.ok()) {
-      err << st << "\n";
+    if (wal_it != args.flags.end() &&
+        DurableSession::Exists(wal_it->second)) {
+      Result<std::unique_ptr<DurableSession>> opened =
+          DurableSession::Open(wal_it->second, durable);
+      if (!opened.ok()) {
+        err << opened.status() << "\n";
+        return 2;
+      }
+      session = std::move(opened).ValueOrDie();
+      const RecoveryInfo& rec = session->recovery();
+      out << "recovered " << wal_it->second << ": snapshot "
+          << rec.snapshot_id << "  replayed: " << rec.replayed_records
+          << "  discarded bytes: " << rec.discarded_bytes
+          << "  mapped columns: " << rec.mapped_columns << "\n";
+    } else {
+      if (int code = LoadRepairSetup(args, err, &setup); code != 0) {
+        return code;
+      }
+      Result<Relation> input =
+          ReadCsvFile(setup.master.schema(), setup.input_path);
+      if (!input.ok()) {
+        err << input.status() << "\n";
+        return 2;
+      }
+      if (wal_it != args.flags.end()) {
+        Result<std::unique_ptr<DurableSession>> created =
+            DurableSession::Create(wal_it->second, setup.rules, setup.master,
+                                   *input, setup.trusted, durable);
+        if (!created.ok()) {
+          err << created.status() << "\n";
+          return 2;
+        }
+        session = std::move(created).ValueOrDie();
+      } else {
+        owned_engine = std::make_unique<DeltaRepairEngine>(
+            setup.rules, setup.master, setup.trusted, options);
+        if (!owned_engine->precheck_status().ok()) {
+          err << owned_engine->precheck_status() << "\n";
+          return 2;
+        }
+        if (Status st = owned_engine->Load(*input); !st.ok()) {
+          err << st << "\n";
+          return 2;
+        }
+      }
+    }
+    DeltaRepairEngine& engine =
+        session != nullptr ? session->engine() : *owned_engine;
+    if (!engine.precheck_status().ok()) {
+      err << engine.precheck_status() << "\n";
       return 2;
     }
-    if (Status st = engine.ApplyAll(&source); !st.ok()) {
-      err << st << "\n";
-      return 2;
+    if (deltas_it != args.flags.end()) {
+      const RuleSet& rules = session != nullptr ? session->rules()
+                                                : setup.rules;
+      Result<std::unique_ptr<DeltaSource>> source = storage::OpenDeltaLog(
+          rules.r_schema(), rules.rm_schema(), deltas_it->second);
+      if (!source.ok()) {
+        err << source.status() << "\n";
+        return 2;
+      }
+      Status st = session != nullptr ? session->ApplyAll(source->get())
+                                     : engine.ApplyAll(source->get());
+      if (!st.ok()) {
+        err << st << "\n";
+        return 2;
+      }
     }
     stats = engine.stats();
   } catch (const std::exception& e) {
     err << "delta engine worker failed: " << e.what() << "\n";
     return 2;
+  }
+  DeltaRepairEngine& engine =
+      session != nullptr ? session->engine() : *owned_engine;
+  if (session != nullptr) {
+    out << "wal: " << session->dir() << "  snapshot: "
+        << session->snapshot_id() << "  pending deltas: "
+        << session->records_since_snapshot() << "\n";
   }
   out << "rows: " << stats.rows
       << "  fully covered: " << stats.fully_covered
@@ -684,6 +726,97 @@ int CmdRepairDeltas(const ParsedArgs& args, std::ostream& out,
   auto output_it = args.flags.find("output");
   if (output_it != args.flags.end()) {
     Status st = WriteCsvFile(engine.SnapshotRepaired(), output_it->second);
+    if (!st.ok()) {
+      err << st << "\n";
+      return 2;
+    }
+    out << "repaired relation written to " << output_it->second << "\n";
+  }
+  if (int code = DumpTelemetry(args, err); code != 0) return code;
+  return stats.conflicting == 0 ? 0 : 2;
+}
+
+int CmdSnapshot(const ParsedArgs& args, std::ostream& out,
+                std::ostream& err) {
+  auto dir_it = args.flags.find("dir");
+  if (dir_it == args.flags.end()) {
+    err << "--dir is required\n";
+    return 1;
+  }
+  DurableOptions durable;
+  if (!ParseSizeFlag(args, "threads", &durable.engine.num_shards, err) ||
+      !ParseSizeFlag(args, "mmap-budget", &durable.mmap_budget_bytes, err)) {
+    return 1;
+  }
+  durable.compress_snapshots = args.flags.count("no-compress") == 0;
+  try {
+    Result<std::unique_ptr<DurableSession>> opened =
+        DurableSession::Open(dir_it->second, durable);
+    if (!opened.ok()) {
+      err << opened.status() << "\n";
+      return 2;
+    }
+    std::unique_ptr<DurableSession> session = std::move(opened).ValueOrDie();
+    if (Status st = session->WriteSnapshot(); !st.ok()) {
+      err << st << "\n";
+      return 2;
+    }
+    out << "snapshot generation " << session->snapshot_id()
+        << " committed in " << dir_it->second << "\n";
+  } catch (const std::exception& e) {
+    err << "delta engine worker failed: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int CmdRecover(const ParsedArgs& args, std::ostream& out,
+               std::ostream& err) {
+  TelemetryScope telemetry_scope(args);
+  auto dir_it = args.flags.find("dir");
+  if (dir_it == args.flags.end()) {
+    err << "--dir is required\n";
+    return 1;
+  }
+  DurableOptions durable;
+  if (!ParseSizeFlag(args, "threads", &durable.engine.num_shards, err) ||
+      !ParseSizeFlag(args, "queue-capacity", &durable.engine.queue_capacity,
+                     err) ||
+      !ParseIndexFlag(args, &durable.engine.index_kind, err) ||
+      !ParseSizeFlag(args, "mmap-budget", &durable.mmap_budget_bytes, err)) {
+    return 1;
+  }
+  durable.engine.use_memo = args.flags.count("no-memo") == 0;
+  DeltaRepairStats stats;
+  std::unique_ptr<DurableSession> session;
+  try {
+    Result<std::unique_ptr<DurableSession>> opened =
+        DurableSession::Open(dir_it->second, durable);
+    if (!opened.ok()) {
+      err << opened.status() << "\n";
+      return 2;
+    }
+    session = std::move(opened).ValueOrDie();
+    stats = session->engine().stats();
+  } catch (const std::exception& e) {
+    err << "delta engine worker failed: " << e.what() << "\n";
+    return 2;
+  }
+  const RecoveryInfo& rec = session->recovery();
+  out << "recovered " << dir_it->second << ": snapshot " << rec.snapshot_id
+      << "  replayed: " << rec.replayed_records
+      << "  discarded bytes: " << rec.discarded_bytes
+      << "  mapped columns: " << rec.mapped_columns << "\n";
+  out << "rows: " << stats.rows
+      << "  fully covered: " << stats.fully_covered
+      << "  partial: " << stats.partial
+      << "  untouched: " << stats.untouched
+      << "  conflicts: " << stats.conflicting
+      << "  cells changed: " << stats.cells_changed << "\n";
+  if (auto output_it = args.flags.find("output");
+      output_it != args.flags.end()) {
+    Status st =
+        WriteCsvFile(session->engine().SnapshotRepaired(), output_it->second);
     if (!st.ok()) {
       err << st << "\n";
       return 2;
@@ -754,7 +887,7 @@ int CmdWorkloadGen(const ParsedArgs& args, std::ostream& out,
     return 2;
   }
   for (const EditingRule& rule : scenario->rules) {
-    rules_out << ToDsl(rule) << "\n";
+    rules_out << RuleToDsl(rule) << "\n";
   }
   rules_out.close();
   std::string trusted_csv;
@@ -805,6 +938,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (parsed.command == "repair-deltas") {
     return CmdRepairDeltas(parsed, out, err);
   }
+  if (parsed.command == "snapshot") return CmdSnapshot(parsed, out, err);
+  if (parsed.command == "recover") return CmdRecover(parsed, out, err);
   if (parsed.command == "workload-gen") {
     return CmdWorkloadGen(parsed, out, err);
   }

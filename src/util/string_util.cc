@@ -1,6 +1,7 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 
 namespace certfix {
@@ -56,6 +57,19 @@ bool IsInteger(std::string_view s) {
   for (; i < s.size(); ++i) {
     if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
   }
+  return true;
+}
+
+bool ParseSizeStrict(std::string_view s, size_t* out) {
+  if (s.empty()) return false;
+  size_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    size_t digit = static_cast<size_t>(c - '0');
+    if (v > (SIZE_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
   return true;
 }
 

@@ -29,6 +29,12 @@ std::string ToLower(std::string_view s);
 /// True if `s` parses as a (signed) decimal integer.
 bool IsInteger(std::string_view s);
 
+/// Strict non-negative decimal parse: ASCII digits only — no sign, no
+/// surrounding whitespace (which strtoul silently accepts), no trailing
+/// bytes — and rejects values that overflow size_t. Row positions in
+/// delta logs and CLI size flags go through this.
+bool ParseSizeStrict(std::string_view s, size_t* out);
+
 /// True if `s` parses as a floating point literal.
 bool IsDouble(std::string_view s);
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -411,6 +413,106 @@ TEST_F(GoldenTest, NoTelemetryFlagKeepsOutputIdentical) {
       << err_.str();
   EXPECT_EQ(Slurp(output_path_), Slurp(Golden("expected_repair.csv")));
   EXPECT_NE(out_.str().find("cells changed:"), std::string::npos);
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream bytes;
+  bytes << in.rdbuf();
+  return bytes.str();
+}
+
+TEST_F(CliTest, RepairDeltasWalPersistsAndMatchesPlainRun) {
+  std::string deltas_path = dir_ + "/wal.deltas";
+  {
+    std::ofstream deltas(deltas_path);
+    deltas << "I,,G11,000,Wrong,New\n"  // fixable from master's G11 row
+              "U,0,NW1,999,Nope,Eve\n"
+              "D,1\n";
+  }
+  std::string wal_dir = dir_ + "/wal_session";
+  std::filesystem::remove_all(wal_dir);
+
+  // Plain run is the reference.
+  std::string plain_out = dir_ + "/plain.csv";
+  ASSERT_EQ(Run({"repair-deltas", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--deltas",
+                 deltas_path, "--trusted", "zip,name", "--output",
+                 plain_out}),
+            0)
+      << err_.str();
+
+  // Durable run: same bytes, plus a committed session directory.
+  std::string durable_out = dir_ + "/durable.csv";
+  ASSERT_EQ(Run({"repair-deltas", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--deltas",
+                 deltas_path, "--trusted", "zip,name", "--wal", wal_dir,
+                 "--output", durable_out}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("wal: " + wal_dir), std::string::npos);
+  EXPECT_EQ(ReadAll(durable_out), ReadAll(plain_out));
+  EXPECT_TRUE(std::filesystem::exists(wal_dir + "/MANIFEST"));
+
+  // recover needs nothing but the directory.
+  std::string recovered_out = dir_ + "/recovered.csv";
+  ASSERT_EQ(Run({"recover", "--dir", wal_dir, "--output", recovered_out}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("recovered " + wal_dir), std::string::npos);
+  EXPECT_NE(out_.str().find("replayed: 3"), std::string::npos);
+  EXPECT_EQ(ReadAll(recovered_out), ReadAll(plain_out));
+
+  // An existing --wal dir resumes the session: master/rules/input come
+  // from the directory, and more deltas append on top.
+  std::string more_path = dir_ + "/more.deltas";
+  {
+    std::ofstream deltas(more_path);
+    deltas << "I,,EH7,1,2,Zed\n";
+  }
+  ASSERT_EQ(Run({"repair-deltas", "--wal", wal_dir, "--deltas", more_path,
+                 "--output", durable_out}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("recovered " + wal_dir), std::string::npos);
+  EXPECT_NE(ReadAll(durable_out), ReadAll(plain_out));
+
+  // snapshot rotates the generation and empties the WAL.
+  ASSERT_EQ(Run({"snapshot", "--dir", wal_dir}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("snapshot generation"), std::string::npos);
+  ASSERT_EQ(Run({"recover", "--dir", wal_dir}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("replayed: 0"), std::string::npos);
+}
+
+TEST_F(CliTest, RecoverSurvivesTornWalTail) {
+  std::string deltas_path = dir_ + "/torn.deltas";
+  {
+    std::ofstream deltas(deltas_path);
+    deltas << "I,,G11,000,Wrong,New\nD,0\n";
+  }
+  std::string wal_dir = dir_ + "/torn_session";
+  std::filesystem::remove_all(wal_dir);
+  ASSERT_EQ(Run({"repair-deltas", "--master", master_path_, "--rules",
+                 rules_path_, "--input", input_path_, "--deltas",
+                 deltas_path, "--trusted", "zip,name", "--wal", wal_dir}),
+            0)
+      << err_.str();
+
+  // Chop the last 3 bytes off the WAL: a torn final record.
+  std::string wal_path = wal_dir + "/wal-0.log";
+  uint64_t size = std::filesystem::file_size(wal_path);
+  std::filesystem::resize_file(wal_path, size - 3);
+  ASSERT_EQ(Run({"recover", "--dir", wal_dir}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("replayed: 1"), std::string::npos);
+  EXPECT_NE(out_.str().find("discarded bytes:"), std::string::npos);
+}
+
+TEST_F(CliTest, SnapshotAndRecoverRequireDir) {
+  EXPECT_EQ(Run({"snapshot"}), 1);
+  EXPECT_NE(err_.str().find("--dir"), std::string::npos);
+  EXPECT_EQ(Run({"recover"}), 1);
+  EXPECT_EQ(Run({"recover", "--dir", dir_ + "/no_such_session"}), 2);
 }
 
 TEST_F(CliTest, MinedRulesRoundTripThroughParser) {

@@ -112,6 +112,12 @@ TEST(DeltaLogFuzzTest, MalformedRecordsAreCleanParseErrors) {
       {"I\n", "at least op and row"},
       {"U,notanum,1,2,3\n", "non-negative row"},
       {"U,-1,1,2,3\n", "non-negative row"},
+      {"U, 5,1,2,3\n", "non-negative row"},   // leading space
+      {"U,+5,1,2,3\n", "non-negative row"},   // explicit sign
+      {"U,5 ,1,2,3\n", "non-negative row"},   // trailing space
+      {"U,0x5,1,2,3\n", "non-negative row"},  // hex
+      {"D,5c\n", "non-negative row"},         // trailing junk
+      {"D,99999999999999999999\n", "non-negative row"},  // overflow
       {"I,,1,2\n", "arity"},
       {"I,,1,2,3,4\n", "arity"},
       {"D,0,extra\n", "takes no fields"},
